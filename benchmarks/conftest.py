@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper at the
+paper-scale configuration (1 GB heap, 2048 threads, 15-second monitoring).
+The expensive experiment drivers are wrapped in session-scoped fixtures so a
+result computed for the timing benchmark is reused by the reporting
+benchmark of the same experiment.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag lets the paper-versus-measured tables print to the console.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.exp41 import run_experiment_41
+from repro.experiments.exp42 import run_experiment_42
+from repro.experiments.exp43 import run_experiment_43
+from repro.experiments.exp44 import run_experiment_44
+from repro.experiments.scenarios import ExperimentScenarios
+
+#: Seed shared by every benchmark so the whole harness is reproducible.
+BENCH_SEED = 2010
+
+
+@pytest.fixture(scope="session")
+def paper_scenarios() -> ExperimentScenarios:
+    """The paper-scale experiment configuration."""
+    return ExperimentScenarios.paper_scale(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def exp41_result(paper_scenarios):
+    return run_experiment_41(paper_scenarios)
+
+
+@pytest.fixture(scope="session")
+def exp42_result(paper_scenarios):
+    return run_experiment_42(paper_scenarios)
+
+
+@pytest.fixture(scope="session")
+def exp43_result(paper_scenarios):
+    return run_experiment_43(paper_scenarios)
+
+
+@pytest.fixture(scope="session")
+def exp44_result(paper_scenarios):
+    return run_experiment_44(paper_scenarios)
+
+
+def print_comparison(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-versus-measured table in a fixed-width layout."""
+    print(f"\n=== {title} ===")
+    print(f"{'quantity':38s}{'paper':>24s}{'measured':>24s}")
+    for label, paper_value, measured_value in rows:
+        print(f"{label:38s}{paper_value:>24s}{measured_value:>24s}")

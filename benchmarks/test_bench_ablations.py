@@ -1,0 +1,78 @@
+"""Ablation benchmarks on the design choices DESIGN.md calls out."""
+
+import pytest
+
+from repro.core.evaluation import format_duration
+from repro.experiments.ablations import (
+    _dynamic_scenario_traces,
+    run_derived_variable_ablation,
+    run_security_margin_sweep,
+    run_smoothing_ablation,
+    run_window_sweep,
+)
+
+from .conftest import print_comparison
+
+
+@pytest.fixture(scope="module")
+def dynamic_traces(paper_scenarios):
+    """Training and test traces of the dynamic scenario, generated once."""
+    return _dynamic_scenario_traces(paper_scenarios)
+
+
+def _rows(points):
+    return [(point.label, "(not quantified in the paper)", format_duration(point.mae_seconds)) for point in points]
+
+
+def test_ablation_sliding_window_length(benchmark, paper_scenarios, dynamic_traces):
+    """The window trade-off of Section 2.2: noise tolerance vs reaction speed."""
+    points = benchmark.pedantic(
+        run_window_sweep,
+        kwargs={"scenarios": paper_scenarios, "windows": (2, 6, 12, 24, 48), "traces": dynamic_traces},
+        iterations=1,
+        rounds=1,
+    )
+    print_comparison("Ablation: sliding-window length (MAE on the dynamic scenario)", _rows(points))
+    assert len(points) == 5
+    assert all(point.mae_seconds >= 0 for point in points)
+
+
+def test_ablation_derived_variables(benchmark, paper_scenarios, dynamic_traces):
+    """The value of the derived consumption-speed variables of Table 2."""
+    points = benchmark.pedantic(
+        run_derived_variable_ablation,
+        kwargs={"scenarios": paper_scenarios, "traces": dynamic_traces},
+        iterations=1,
+        rounds=1,
+    )
+    print_comparison("Ablation: derived speed variables on/off (MAE)", _rows(points))
+    by_label = {point.label: point for point in points}
+    assert set(by_label) == {"raw+derived", "raw only"}
+
+
+def test_ablation_m5p_smoothing(benchmark, paper_scenarios, dynamic_traces):
+    """Quinlan's smoothing filter on/off."""
+    points = benchmark.pedantic(
+        run_smoothing_ablation,
+        kwargs={"scenarios": paper_scenarios, "traces": dynamic_traces},
+        iterations=1,
+        rounds=1,
+    )
+    print_comparison("Ablation: M5P prediction smoothing (MAE)", _rows(points))
+    assert {point.label for point in points} == {"smoothing on", "smoothing off"}
+
+
+def test_ablation_security_margin(benchmark, paper_scenarios, dynamic_traces):
+    """S-MAE as a function of the security margin (the paper fixes 10 %)."""
+    points = benchmark.pedantic(
+        run_security_margin_sweep,
+        kwargs={"scenarios": paper_scenarios, "margins": (0.0, 0.05, 0.10, 0.20, 0.30), "traces": dynamic_traces},
+        iterations=1,
+        rounds=1,
+    )
+    rows = [
+        (point.label, "S-MAE <= MAE by construction", format_duration(point.s_mae_seconds)) for point in points
+    ]
+    print_comparison("Ablation: S-MAE security margin sweep", rows)
+    smae = [point.s_mae_seconds for point in points]
+    assert all(earlier >= later - 1e-9 for earlier, later in zip(smae, smae[1:]))

@@ -1,0 +1,45 @@
+"""Benchmark regenerating Experiment 4.2 / Figure 3 (dynamic aging)."""
+
+from repro.core.evaluation import format_duration
+from repro.experiments.exp42 import run_experiment_42
+
+from .conftest import print_comparison
+
+#: The paper's reported accuracy for M5P in Experiment 4.2 (seconds).
+PAPER_EXP42_M5P = {"MAE": 16 * 60 + 26, "S-MAE": 13 * 60 + 3, "PRE-MAE": 17 * 60 + 15, "POST-MAE": 8 * 60 + 14}
+
+
+def test_figure3_dynamic_aging(benchmark, paper_scenarios, exp42_result):
+    """Regenerate Figure 3 and the Experiment 4.2 accuracy figures."""
+    benchmark.pedantic(run_experiment_42, kwargs={"scenarios": paper_scenarios}, iterations=1, rounds=1)
+    result = exp42_result
+    rows = []
+    for metric, paper_value in PAPER_EXP42_M5P.items():
+        measured = result.m5p_evaluation.as_dict()[metric]
+        rows.append((f"M5P {metric}", format_duration(paper_value), format_duration(measured)))
+    rows.append(
+        (
+            "Linear Regression MAE",
+            "'really unacceptable'",
+            format_duration(result.linear_evaluation.mae_seconds),
+        )
+    )
+    rows.append(("Model size", "36 leaves / 35 inner nodes", f"{result.m5p_leaves} leaves / {result.m5p_inner_nodes} inner nodes"))
+    rows.append(("Training instances", "1710", str(result.training_instances)))
+    rows.append(("Experiment duration", "1 h 47 min", format_duration(result.test_duration_seconds)))
+    rows.append(
+        (
+            "Prediction drops when injection starts",
+            "drastic drop after minute 20",
+            "yes" if result.adapts_to_injection_start() else "no",
+        )
+    )
+    print_comparison("Figure 3 (Experiment 4.2): dynamic and variable software aging", rows)
+
+    # Shape checks: the model adapts to the injection start, beats the linear
+    # baseline and is at its best near the crash.
+    assert result.adapts_to_injection_start()
+    assert result.m5p_evaluation.mae_seconds < result.linear_evaluation.mae_seconds
+    assert result.m5p_evaluation.post_mae_seconds < result.m5p_evaluation.pre_mae_seconds
+    series = result.figure3_series()
+    assert series["predicted_ttf_seconds"].shape == series["time_seconds"].shape

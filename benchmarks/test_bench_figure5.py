@@ -1,0 +1,42 @@
+"""Benchmark regenerating Experiment 4.4 / Figure 5 (two aging resources)."""
+
+from repro.core.evaluation import format_duration
+from repro.experiments.exp44 import run_experiment_44
+
+from .conftest import print_comparison
+
+#: The paper's reported accuracy for M5P in Experiment 4.4 (seconds).
+PAPER_EXP44_M5P = {"MAE": 16 * 60 + 52, "S-MAE": 13 * 60 + 22, "PRE-MAE": 18 * 60 + 16, "POST-MAE": 2 * 60 + 5}
+
+
+def test_figure5_two_resource_aging(benchmark, paper_scenarios, exp44_result):
+    """Regenerate Figure 5, the Exp. 4.4 accuracy and the root-cause clues."""
+    benchmark.pedantic(run_experiment_44, kwargs={"scenarios": paper_scenarios}, iterations=1, rounds=1)
+    result = exp44_result
+    rows = []
+    for metric, paper_value in PAPER_EXP44_M5P.items():
+        rows.append(
+            (f"M5P {metric}", format_duration(paper_value), format_duration(result.m5p_evaluation.as_dict()[metric]))
+        )
+    rows.append(("Linear Regression MAE", "(not reported)", format_duration(result.linear_evaluation.mae_seconds)))
+    rows.append(("Model size", "36 leaves / 35 inner nodes", f"{result.m5p_leaves} leaves / {result.m5p_inner_nodes} inner nodes"))
+    rows.append(("Training instances", "2752 (6 single-resource runs)", str(result.training_instances)))
+    rows.append(("Experiment duration", "1 h 55 min", format_duration(result.test_duration_seconds)))
+    rows.append(
+        (
+            "Root-cause clue from the tree",
+            "system memory, then threads",
+            ", ".join(name for name, _score in result.root_cause.resources[:3]) or "none",
+        )
+    )
+    print_comparison("Figure 5 (Experiment 4.4): aging due to two resources", rows)
+
+    # Shape checks: the run crashes from one of the injected resources, the
+    # prediction sharpens near the crash, and the tree inspection implicates
+    # both memory and threads even though they were never injected together
+    # during training.
+    assert result.crash_resource in ("memory", "threads")
+    assert result.m5p_evaluation.post_mae_seconds < result.m5p_evaluation.pre_mae_seconds
+    assert result.implicates_memory_and_threads()
+    series = result.figure5_series()
+    assert series["num_threads"].shape == series["time_seconds"].shape

@@ -1,0 +1,47 @@
+"""Benchmarks regenerating the two motivating figures (Figures 1 and 2)."""
+
+import numpy as np
+
+from repro.core.evaluation import format_duration
+from repro.experiments.figures import figure1_series, figure2_series
+
+from .conftest import print_comparison
+
+
+def test_figure1_nonlinear_memory(benchmark, paper_scenarios):
+    """Figure 1 -- progressive memory consumption with heap-resize flat zones."""
+    series = benchmark.pedantic(figure1_series, args=(paper_scenarios,), iterations=1, rounds=1)
+    assert series.has_flat_zones()
+    assert len(series.old_resize_times) >= 1
+    assert series.extra_life_seconds() > 0
+    print_comparison(
+        "Figure 1: nonlinear memory behaviour under a constant-rate leak",
+        [
+            ("Old-zone resizes during the run", "3 visible (2150s, 4350s, 5150s)", f"{len(series.old_resize_times)} at " + ", ".join(f"{t:.0f}s" for t in series.old_resize_times)),
+            ("Extra life vs naive extrapolation", "about 16 minutes", format_duration(max(series.extra_life_seconds(), 0.0))),
+            ("Run length until crash", "~5500 s", f"{series.crash_time_seconds:.0f} s"),
+            ("OS-level signal has flat zones", "yes", "yes" if series.has_flat_zones() else "no"),
+        ],
+    )
+
+
+def test_figure2_os_vs_jvm_view(benchmark, paper_scenarios):
+    """Figure 2 -- OS-level versus JVM-level view of a periodic memory pattern."""
+    series = benchmark.pedantic(figure2_series, args=(paper_scenarios, 5), iterations=1, rounds=1)
+    assert series.os_view_is_flat_after_warmup()
+    assert series.jvm_view_oscillates()
+    jvm_swing = float(series.jvm_heap_used_mb.max() - series.jvm_heap_used_mb[len(series.jvm_heap_used_mb) // 3 :].min())
+    os_swing_after_warmup = float(
+        series.os_memory_mb[len(series.os_memory_mb) // 3 :].max()
+        - series.os_memory_mb[len(series.os_memory_mb) // 3 :].min()
+    )
+    print_comparison(
+        "Figure 2: the same resource from the OS and the JVM perspective",
+        [
+            ("JVM view (Young+Old) oscillates", "waves every 20-minute phase", f"swing {jvm_swing:.0f} MB"),
+            ("OS view after warm-up", "constant (Linux keeps freed pages)", f"swing {os_swing_after_warmup:.0f} MB"),
+            ("Experiment length", "5 hours", f"{series.time_seconds[-1] / 3600.0:.1f} hours"),
+            ("Net aging", "none (full release)", "none (run did not crash)"),
+        ],
+    )
+    assert np.all(np.diff(series.os_memory_mb) >= -1e-9)

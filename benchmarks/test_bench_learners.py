@@ -1,0 +1,84 @@
+"""Micro-benchmarks of training and prediction cost of the learners.
+
+The paper selects M5P partly "because it has low training and prediction
+costs and we will eventually want on-line processing".  These benchmarks
+measure that claim directly on a paper-scale training set: how long it takes
+to train each learner on the Experiment 4.1 dataset and how long a single
+on-line prediction takes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import build_dataset
+from repro.core.predictor import AgingPredictor
+from repro.experiments.runner import run_memory_leak_trace
+from repro.ml.linear_regression import LinearRegressionModel
+from repro.ml.m5p import M5PModelTree
+from repro.ml.regression_tree import RegressionTree
+
+from .conftest import BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def training_dataset(paper_scenarios):
+    """A paper-scale training dataset (two crashed runs, full Table 2 set)."""
+    config = paper_scenarios.config
+    traces = [
+        run_memory_leak_trace(config, workload_ebs=100, n=30, seed=BENCH_SEED + 800),
+        run_memory_leak_trace(config, workload_ebs=200, n=30, seed=BENCH_SEED + 801),
+    ]
+    return build_dataset(traces)
+
+
+def test_train_m5p(benchmark, training_dataset):
+    model = benchmark.pedantic(
+        lambda: M5PModelTree(min_instances=10, attribute_names=training_dataset.feature_names).fit(
+            training_dataset.features, training_dataset.targets
+        ),
+        iterations=1,
+        rounds=3,
+    )
+    assert model.num_leaves >= 1
+
+
+def test_train_linear_regression(benchmark, training_dataset):
+    model = benchmark.pedantic(
+        lambda: LinearRegressionModel(attribute_names=training_dataset.feature_names).fit(
+            training_dataset.features, training_dataset.targets
+        ),
+        iterations=1,
+        rounds=3,
+    )
+    assert model.is_fitted
+
+
+def test_train_regression_tree(benchmark, training_dataset):
+    model = benchmark.pedantic(
+        lambda: RegressionTree(min_samples_leaf=10, attribute_names=training_dataset.feature_names).fit(
+            training_dataset.features, training_dataset.targets
+        ),
+        iterations=1,
+        rounds=3,
+    )
+    assert model.num_leaves >= 1
+
+
+def test_single_online_prediction_m5p(benchmark, training_dataset):
+    """Latency of one on-line prediction (one 15-second monitoring mark)."""
+    model = M5PModelTree(min_instances=10, attribute_names=training_dataset.feature_names).fit(
+        training_dataset.features, training_dataset.targets
+    )
+    row = training_dataset.features[len(training_dataset.features) // 2]
+    prediction = benchmark(lambda: model.predict_one(row))
+    assert np.isfinite(prediction)
+
+
+def test_predict_full_trace_with_aging_predictor(benchmark, paper_scenarios):
+    """End-to-end cost of predicting a whole trace (features + model)."""
+    config = paper_scenarios.config
+    training = [run_memory_leak_trace(config, workload_ebs=100, n=30, seed=BENCH_SEED + 820)]
+    test_trace = run_memory_leak_trace(config, workload_ebs=150, n=30, seed=BENCH_SEED + 821)
+    predictor = AgingPredictor(model="m5p").fit(training)
+    predictions = benchmark.pedantic(lambda: predictor.predict_trace(test_trace), iterations=1, rounds=3)
+    assert predictions.shape == (len(test_trace),)

@@ -1,0 +1,60 @@
+"""Benchmark of the rejuvenation-policy extension (paper Section 1 motivation)."""
+
+import pytest
+
+from repro.core.predictor import AgingPredictor
+from repro.experiments.runner import run_memory_leak_trace
+from repro.rejuvenation.policies import (
+    NoRejuvenationPolicy,
+    PredictiveRejuvenationPolicy,
+    TimeBasedRejuvenationPolicy,
+)
+from repro.rejuvenation.simulator import simulate_policy
+
+from .conftest import BENCH_SEED, print_comparison
+
+
+@pytest.fixture(scope="module")
+def aging_environment(paper_scenarios):
+    """Training traces, a fitted predictor and an epoch factory (paper scale)."""
+    config = paper_scenarios.config
+    training = [
+        run_memory_leak_trace(config, workload_ebs=100, n=15, seed=BENCH_SEED + 900),
+        run_memory_leak_trace(config, workload_ebs=100, n=30, seed=BENCH_SEED + 901),
+    ]
+    predictor = AgingPredictor(model="m5p").fit(training)
+    cache: dict[int, object] = {}
+
+    def factory(epoch: int):
+        if epoch not in cache:
+            cache[epoch] = run_memory_leak_trace(config, workload_ebs=100, n=30, seed=BENCH_SEED + 950 + epoch)
+        return cache[epoch]
+
+    return predictor, factory
+
+
+def test_rejuvenation_policy_comparison(benchmark, aging_environment):
+    """Availability of no / time-based / predictive rejuvenation on aging runs."""
+    predictor, factory = aging_environment
+    horizon = 12 * 3600.0
+
+    def compare():
+        baseline = simulate_policy(NoRejuvenationPolicy(), factory, horizon_seconds=horizon)
+        time_based = simulate_policy(TimeBasedRejuvenationPolicy(interval_seconds=3600.0), factory, horizon_seconds=horizon)
+        predictive = simulate_policy(
+            PredictiveRejuvenationPolicy(predictor, threshold_seconds=900.0, consecutive=2),
+            factory,
+            horizon_seconds=horizon,
+        )
+        return baseline, time_based, predictive
+
+    baseline, time_based, predictive = benchmark.pedantic(compare, iterations=1, rounds=1)
+    rows = [
+        ("No rejuvenation: availability", "(baseline, crashes only)", f"{baseline.availability:.4f} ({baseline.crashes} crashes)"),
+        ("Time-based hourly: availability", "widely used in practice", f"{time_based.availability:.4f} ({time_based.rejuvenations} restarts, {time_based.crashes} crashes)"),
+        ("Predictive: availability", "goal of the paper's predictor", f"{predictive.availability:.4f} ({predictive.rejuvenations} restarts, {predictive.crashes} crashes)"),
+        ("Predictive unplanned downtime share", "should approach 0", f"{predictive.unplanned_downtime_fraction:.2f}"),
+    ]
+    print_comparison("Rejuvenation extension: policy comparison over a 12-hour horizon", rows)
+    assert predictive.availability > baseline.availability
+    assert predictive.crashes <= baseline.crashes

@@ -1,0 +1,42 @@
+"""Benchmarks for the experimental setup artefacts: Table 1 and Table 2."""
+
+from repro.core.features import FeatureCatalog
+from repro.testbed.config import MachineDescription, TestbedConfig
+from repro.testbed.monitoring.metrics_catalog import RAW_METRICS
+
+from .conftest import print_comparison
+
+
+def test_table1_machine_description(benchmark):
+    """Table 1 -- machine description of the simulated testbed."""
+    description = benchmark(MachineDescription)
+    rows = description.rows()
+    assert len(rows) == 4
+    config = TestbedConfig()
+    print_comparison(
+        "Table 1: machine description (paper testbed vs simulated substitute)",
+        [
+            ("App server JVM heap", "jdk1.5 with 1GB heap", f"simulated heap {config.heap_max_mb:.0f} MB"),
+            ("App server software", "Tomcat 5.5.26", "TomcatServer model"),
+            ("Database software", "MySQL 5.0.67", "MySQLServer model"),
+            ("Client workload", "TPC-W clients", "TPC-W emulated browsers (shopping mix)"),
+            ("Monitoring cadence", "15 s marks", f"{config.monitoring_interval_s:.0f} s marks"),
+        ],
+    )
+
+
+def test_table2_variable_catalogue(benchmark):
+    """Table 2 -- the variable set used to build every model."""
+    catalog = benchmark(FeatureCatalog)
+    names = catalog.feature_names
+    assert len(RAW_METRICS) == 18
+    derived = [name for name in names if name not in {metric.attribute for metric in RAW_METRICS}]
+    print_comparison(
+        "Table 2: variables used to build the models",
+        [
+            ("Raw monitored variables", "throughput ... % used Old", f"{len(RAW_METRICS)} variables"),
+            ("Derived variables (speeds, ratios)", "SWA variation family", f"{len(derived)} variables"),
+            ("Total variable catalogue", "~29 variable groups", f"{len(names)} variables"),
+            ("Sliding window", "X observations (12 marks in 4.2)", f"{catalog.window} marks"),
+        ],
+    )

@@ -1,0 +1,57 @@
+"""Benchmark regenerating Experiment 4.1 / Table 3 (deterministic aging)."""
+
+from repro.core.evaluation import format_duration
+from repro.experiments.exp41 import run_experiment_41
+
+from .conftest import print_comparison
+
+#: The paper's Table 3, in seconds, keyed by (workload, model, metric).
+PAPER_TABLE3 = {
+    (75, "linear", "MAE"): 19 * 60 + 35,
+    (75, "m5p", "MAE"): 15 * 60 + 14,
+    (75, "linear", "S-MAE"): 14 * 60 + 17,
+    (75, "m5p", "S-MAE"): 9 * 60 + 34,
+    (150, "linear", "MAE"): 20 * 60 + 24,
+    (150, "m5p", "MAE"): 5 * 60 + 46,
+    (150, "linear", "S-MAE"): 17 * 60 + 24,
+    (150, "m5p", "S-MAE"): 2 * 60 + 52,
+    (75, "linear", "PRE-MAE"): 21 * 60 + 13,
+    (75, "m5p", "PRE-MAE"): 16 * 60 + 22,
+    (75, "linear", "POST-MAE"): 5 * 60 + 11,
+    (75, "m5p", "POST-MAE"): 2 * 60 + 20,
+    (150, "linear", "PRE-MAE"): 19 * 60 + 40,
+    (150, "m5p", "PRE-MAE"): 6 * 60 + 18,
+    (150, "linear", "POST-MAE"): 24 * 60 + 14,
+    (150, "m5p", "POST-MAE"): 2 * 60 + 57,
+}
+
+
+def test_table3_deterministic_aging(benchmark, paper_scenarios, exp41_result):
+    """Regenerate Table 3 and compare against the paper's reported errors."""
+    # The timing part of the benchmark re-trains the M5P predictor on the
+    # already-generated traces via the cached-trace path of the driver.
+    benchmark.pedantic(
+        run_experiment_41,
+        kwargs={"scenarios": paper_scenarios},
+        iterations=1,
+        rounds=1,
+    )
+    rows = []
+    for workload in exp41_result.test_workloads:
+        for metric in ("MAE", "S-MAE", "PRE-MAE", "POST-MAE"):
+            for model in ("linear", "m5p"):
+                measured = exp41_result.evaluations[(workload, model)].as_dict()[metric]
+                paper = PAPER_TABLE3[(workload, model, metric)]
+                label = f"{workload}EBs {metric} ({'Lin.Reg' if model == 'linear' else 'M5P'})"
+                rows.append((label, format_duration(paper), format_duration(measured)))
+    rows.append(("M5P model size", "33 leaves / 30 inner nodes", f"{exp41_result.m5p_leaves} leaves / {exp41_result.m5p_inner_nodes} inner nodes"))
+    rows.append(("Training instances", "2776", str(exp41_result.training_instances)))
+    print_comparison("Table 3 (Experiment 4.1): deterministic software aging", rows)
+
+    # Shape checks: M5P must beat Linear Regression on both unseen workloads,
+    # and its accuracy must improve in the last ten minutes, as in the paper.
+    assert exp41_result.m5p_wins("MAE")
+    assert exp41_result.m5p_wins("S-MAE")
+    for workload in exp41_result.test_workloads:
+        m5p = exp41_result.evaluations[(workload, "m5p")]
+        assert m5p.post_mae_seconds < m5p.pre_mae_seconds

@@ -1,0 +1,66 @@
+"""Benchmark regenerating Experiment 4.3 / Figure 4 / Table 4 (hidden aging)."""
+
+from repro.core.evaluation import format_duration
+from repro.experiments.exp43 import run_experiment_43
+
+from .conftest import print_comparison
+
+#: The paper's Table 4 (seconds), for the feature-selected models.
+PAPER_TABLE4 = {
+    ("linear", "MAE"): 15 * 60 + 57,
+    ("m5p", "MAE"): 3 * 60 + 34,
+    ("linear", "S-MAE"): 4 * 60 + 53,
+    ("m5p", "S-MAE"): 21,
+    ("linear", "PRE-MAE"): 16 * 60 + 10,
+    ("m5p", "PRE-MAE"): 3 * 60 + 31,
+    ("linear", "POST-MAE"): 8 * 60 + 14,
+    ("m5p", "POST-MAE"): 5 * 60 + 29,
+}
+
+
+def test_table4_periodic_pattern_aging(benchmark, paper_scenarios, exp43_result):
+    """Regenerate Table 4 and compare against the paper's reported errors."""
+    benchmark.pedantic(run_experiment_43, kwargs={"scenarios": paper_scenarios}, iterations=1, rounds=1)
+    result = exp43_result
+    rows = []
+    for metric in ("MAE", "S-MAE", "PRE-MAE", "POST-MAE"):
+        rows.append(
+            (
+                f"Lin Reg {metric} (heap variables)",
+                format_duration(PAPER_TABLE4[("linear", metric)]),
+                format_duration(result.linear_selected.as_dict()[metric]),
+            )
+        )
+        rows.append(
+            (
+                f"M5P {metric} (heap variables)",
+                format_duration(PAPER_TABLE4[("m5p", metric)]),
+                format_duration(result.m5p_selected.as_dict()[metric]),
+            )
+        )
+    rows.append(
+        (
+            "M5P MAE with the full variable set",
+            "poor (motivates selection)",
+            format_duration(result.m5p_full.mae_seconds),
+        )
+    )
+    rows.append(
+        (
+            "Selected model size",
+            "18 leaves / 17 inner nodes",
+            f"{result.selected_m5p_leaves} leaves / {result.selected_m5p_inner_nodes} inner nodes",
+        )
+    )
+    rows.append(("Experiment duration", "(several hours)", format_duration(result.test_duration_seconds)))
+    print_comparison("Table 4 (Experiment 4.3): aging hidden within a periodic pattern", rows)
+
+    # Shape checks.  The heap-variable selection must not hurt M5P, and M5P
+    # must be the more accurate model in the last ten minutes before the
+    # crash.  (On this substrate Linear Regression tracks the slow net trend
+    # of the whole run better than M5P does -- a known deviation from the
+    # paper's Table 4 that EXPERIMENTS.md discusses.)
+    assert result.selection_helps_m5p()
+    assert result.m5p_selected.post_mae_seconds < result.linear_selected.post_mae_seconds
+    series = result.figure4_series()
+    assert series["jvm_heap_used_mb"].shape == series["time_seconds"].shape

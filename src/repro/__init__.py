@@ -1,0 +1,28 @@
+"""repro: reproduction of "Adaptive on-line software aging prediction based on Machine Learning".
+
+The package reproduces Alonso, Torres, Berral & Gavaldà (DSN 2010).  It is
+organised in five layers, from the bottom substrate to the paper's headline
+contribution:
+
+``repro.ml``
+    From-scratch machine learning: M5P model trees, linear regression,
+    regression trees, AR/ARMA baselines and the naive Equation (1) predictor.
+``repro.testbed``
+    A deterministic discrete-time simulation of the paper's three-tier
+    TPC-W / Tomcat / MySQL testbed, including a generational JVM heap, the
+    OS-level memory view, and the memory-leak / thread-leak fault injectors.
+``repro.core``
+    The prediction framework: Table 2 derived variables (sliding-window
+    consumption speeds), time-to-failure datasets, the ``AgingPredictor``,
+    the MAE / S-MAE / PRE-MAE / POST-MAE evaluation, feature selection,
+    root-cause analysis and the online adaptive loop.
+``repro.experiments``
+    Drivers that regenerate every experiment of Section 4 (4.1–4.4) and the
+    data series behind Figures 1–5.
+``repro.rejuvenation``
+    An extension: time-based versus prediction-driven rejuvenation policies.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

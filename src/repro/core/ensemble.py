@@ -1,0 +1,93 @@
+"""Prediction board: a consensus of several predictors (the paper's future work).
+
+The conclusions of the paper sketch the idea of "a prediction board with a
+set of prediction models to reach a consensus to increase the prediction
+accuracy".  ``PredictionBoard`` implements that extension: it trains several
+:class:`repro.core.predictor.AgingPredictor` instances (possibly of different
+model families or window lengths) on the same traces and combines their
+per-mark predictions with a median or mean consensus.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from repro.core.evaluation import PredictionEvaluation, evaluate_predictions
+from repro.core.predictor import AgingPredictor
+from repro.testbed.monitoring.collector import Trace
+
+__all__ = ["PredictionBoard"]
+
+ConsensusRule = Literal["median", "mean"]
+
+
+class PredictionBoard:
+    """Combine several aging predictors into one consensus prediction.
+
+    Parameters
+    ----------
+    predictors:
+        The board members.  They may use different model families, windows or
+        feature subsets; each is trained independently on the same traces.
+    consensus:
+        ``"median"`` (robust to one badly wrong member, the default) or
+        ``"mean"``.
+    """
+
+    def __init__(self, predictors: Sequence[AgingPredictor], consensus: ConsensusRule = "median") -> None:
+        members = list(predictors)
+        if not members:
+            raise ValueError("the prediction board needs at least one predictor")
+        if consensus not in ("median", "mean"):
+            raise ValueError(f"unknown consensus rule {consensus!r}; expected 'median' or 'mean'")
+        self.members = members
+        self.consensus = consensus
+
+    # ------------------------------------------------------------------- fit
+
+    def fit(self, traces: Iterable[Trace]) -> "PredictionBoard":
+        """Train every board member on the same training traces."""
+        trace_list = list(traces)
+        for member in self.members:
+            member.fit(trace_list)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return all(member.is_fitted for member in self.members)
+
+    # --------------------------------------------------------------- predict
+
+    def member_predictions(self, trace: Trace) -> np.ndarray:
+        """Matrix of per-member predictions (members x marks)."""
+        if not self.is_fitted:
+            raise RuntimeError("the prediction board has not been fitted yet")
+        return np.vstack([member.predict_trace(trace) for member in self.members])
+
+    def predict_trace(self, trace: Trace) -> np.ndarray:
+        """Consensus prediction at every monitoring mark of a trace."""
+        stacked = self.member_predictions(trace)
+        if self.consensus == "median":
+            return np.median(stacked, axis=0)
+        return np.mean(stacked, axis=0)
+
+    # -------------------------------------------------------------- evaluate
+
+    def evaluate_trace(self, trace: Trace, **evaluation_kwargs) -> PredictionEvaluation:
+        """Score the consensus prediction with the paper's accuracy measures."""
+        if not trace.crashed or trace.crash_time_seconds is None:
+            raise ValueError("evaluation requires a crashed trace with a known crash time")
+        predictions = self.predict_trace(trace)
+        return evaluate_predictions(
+            times=trace.times(),
+            true_ttf=trace.time_to_failure(),
+            predicted_ttf=predictions,
+            crash_time=trace.crash_time_seconds,
+            **evaluation_kwargs,
+        )
+
+    def evaluate_members(self, trace: Trace, **evaluation_kwargs) -> list[PredictionEvaluation]:
+        """Score each member individually (to compare against the consensus)."""
+        return [member.evaluate_trace(trace, **evaluation_kwargs) for member in self.members]

@@ -1,0 +1,288 @@
+"""Derived variables of Table 2: sliding-window speeds, inverses and ratios.
+
+Section 2.2 of the paper explains the key feature-engineering decision: the
+model is fed not only the raw metrics but a set of *derived* variables, "the
+most important variable we add is the consumption speed from every resource
+under monitoring", smoothed with a **sliding window average** so that noise
+and short-lived fluctuations (GC activity, load spikes) do not dominate.
+Table 2 then lists the whole derived-variable family: SWA variations
+(speeds), speeds normalised by throughput, inverses of speeds, resource
+values divided by their speed, and SWAs of selected raw metrics.
+
+``FeatureCatalog`` reproduces that family.  Every feature carries a set of
+*tags* (``heap``, ``memory``, ``threads``, ``workload``, ``system``) so the
+expert feature selection of Experiment 4.3 -- "re-train the model only with
+the variables related with the Java Heap evolution" -- is a one-liner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.testbed.monitoring.collector import Trace
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "FeatureCatalog",
+    "FeatureSpec",
+    "sliding_window_average",
+    "consumption_speed",
+    "safe_inverse",
+]
+
+#: Default sliding-window length in monitoring marks.  The paper mentions a
+#: 12-mark window explicitly when discussing the adaptation delay of
+#: Experiment 4.2 (12 marks x 15 seconds = 180 seconds).
+DEFAULT_WINDOW = 12
+
+#: Guard used by :func:`safe_inverse` against division by (near) zero.
+_EPSILON = 1e-6
+
+
+def sliding_window_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Causal moving average over the last ``window`` observations.
+
+    The i-th output averages ``values[max(0, i - window + 1) .. i]``; early
+    samples average whatever history exists, so the output has the same
+    length as the input and uses no future information.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    series = np.asarray(values, dtype=float)
+    if series.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    if series.size == 0:
+        return np.zeros(0)
+    cumulative = np.cumsum(series)
+    output = np.empty_like(series)
+    for index in range(series.shape[0]):
+        start = max(0, index - window + 1)
+        total = cumulative[index] - (cumulative[start - 1] if start > 0 else 0.0)
+        output[index] = total / (index - start + 1)
+    return output
+
+
+def consumption_speed(times: Sequence[float], values: Sequence[float], window: int) -> np.ndarray:
+    """Sliding-window-averaged consumption speed (units per second).
+
+    The instantaneous speed at mark *i* is the difference with the previous
+    mark divided by the elapsed time; the first mark has speed zero.  The
+    instantaneous series is then smoothed with the sliding window average,
+    exactly the smoothing role the paper assigns to the window.
+    """
+    times_arr = np.asarray(times, dtype=float)
+    values_arr = np.asarray(values, dtype=float)
+    if times_arr.shape != values_arr.shape:
+        raise ValueError("times and values must have the same length")
+    if times_arr.size == 0:
+        return np.zeros(0)
+    instantaneous = np.zeros_like(values_arr)
+    if times_arr.size > 1:
+        deltas = np.diff(times_arr)
+        if np.any(deltas <= 0):
+            raise ValueError("times must be strictly increasing")
+        instantaneous[1:] = np.diff(values_arr) / deltas
+    return sliding_window_average(instantaneous, window)
+
+
+def safe_inverse(values: Sequence[float]) -> np.ndarray:
+    """Element-wise ``1/x`` with near-zero values clamped to ``1/epsilon``.
+
+    Table 2 uses ``1/SWA`` variables; when a resource is not being consumed
+    the speed is zero and the plain inverse would be infinite.  Clamping to a
+    large finite value preserves the "nothing is happening" signal without
+    producing non-finite features.
+    """
+    series = np.asarray(values, dtype=float)
+    clipped = np.where(np.abs(series) < _EPSILON, np.sign(series) * _EPSILON + (series == 0) * _EPSILON, series)
+    return 1.0 / clipped
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One derived (or raw) variable of the model input.
+
+    Attributes
+    ----------
+    name:
+        Unique feature name used in model descriptions and selection.
+    tags:
+        Resource tags used for expert feature selection.
+    compute:
+        Function mapping the raw-series dictionary (plus times) to the
+        feature series.
+    """
+
+    name: str
+    tags: frozenset[str]
+    compute: Callable[[dict[str, np.ndarray], np.ndarray], np.ndarray]
+
+
+#: Raw metric attribute -> resource tags.
+_RAW_TAGS: dict[str, frozenset[str]] = {
+    "throughput_rps": frozenset({"workload"}),
+    "workload_ebs": frozenset({"workload"}),
+    "response_time_s": frozenset({"workload", "system"}),
+    "system_load": frozenset({"system"}),
+    "disk_used_mb": frozenset({"system"}),
+    "swap_free_mb": frozenset({"system", "memory"}),
+    "num_processes": frozenset({"system", "threads"}),
+    "system_memory_used_mb": frozenset({"memory", "system"}),
+    "tomcat_memory_used_mb": frozenset({"memory"}),
+    "num_threads": frozenset({"threads"}),
+    "http_connections": frozenset({"workload"}),
+    "mysql_connections": frozenset({"workload"}),
+    "young_max_mb": frozenset({"heap", "memory"}),
+    "old_max_mb": frozenset({"heap", "memory"}),
+    "young_used_mb": frozenset({"heap", "memory"}),
+    "old_used_mb": frozenset({"heap", "memory"}),
+    "young_used_pct": frozenset({"heap", "memory"}),
+    "old_used_pct": frozenset({"heap", "memory"}),
+}
+
+#: Resources whose consumption speed the paper derives (threads, Tomcat
+#: memory, system memory and the two heap zones).
+_SPEED_RESOURCES: dict[str, frozenset[str]] = {
+    "num_threads": frozenset({"threads"}),
+    "tomcat_memory_used_mb": frozenset({"memory"}),
+    "system_memory_used_mb": frozenset({"memory", "system"}),
+    "young_used_mb": frozenset({"heap", "memory"}),
+    "old_used_mb": frozenset({"heap", "memory"}),
+}
+
+#: Raw metrics whose plain sliding-window average is also a feature
+#: ("SWA Resource Used (4)" in Table 2).
+_SWA_RAW_RESOURCES: tuple[str, ...] = (
+    "response_time_s",
+    "throughput_rps",
+    "system_memory_used_mb",
+    "tomcat_memory_used_mb",
+)
+
+
+class FeatureCatalog:
+    """Builds the full Table 2 variable set from a testbed trace.
+
+    Parameters
+    ----------
+    window:
+        Sliding-window length in monitoring marks.
+    include_raw / include_derived:
+        Switch off either half of the catalogue (used by ablations measuring
+        the value of the derived speed variables).
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW, include_raw: bool = True, include_derived: bool = True) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if not include_raw and not include_derived:
+            raise ValueError("at least one of include_raw / include_derived must be true")
+        self.window = window
+        self.include_raw = include_raw
+        self.include_derived = include_derived
+        self._specs = self._build_specs()
+
+    # --------------------------------------------------------------- catalogue
+
+    def _build_specs(self) -> list[FeatureSpec]:
+        specs: list[FeatureSpec] = []
+        if self.include_raw:
+            for attribute, tags in _RAW_TAGS.items():
+                specs.append(
+                    FeatureSpec(
+                        name=attribute,
+                        tags=tags,
+                        compute=lambda raw, times, attribute=attribute: raw[attribute],
+                    )
+                )
+        if not self.include_derived:
+            return specs
+        window = self.window
+
+        def speed_of(attribute: str) -> Callable[[dict[str, np.ndarray], np.ndarray], np.ndarray]:
+            return lambda raw, times: consumption_speed(times, raw[attribute], window)
+
+        for attribute, tags in _SPEED_RESOURCES.items():
+            speed = speed_of(attribute)
+            specs.append(FeatureSpec(f"swa_speed[{attribute}]", tags, speed))
+            specs.append(
+                FeatureSpec(
+                    f"inv_swa_speed[{attribute}]",
+                    tags,
+                    lambda raw, times, speed=speed: safe_inverse(speed(raw, times)),
+                )
+            )
+            specs.append(
+                FeatureSpec(
+                    f"swa_speed_per_throughput[{attribute}]",
+                    tags | frozenset({"workload"}),
+                    lambda raw, times, speed=speed: speed(raw, times) / np.maximum(raw["throughput_rps"], _EPSILON),
+                )
+            )
+            specs.append(
+                FeatureSpec(
+                    f"inv_swa_speed_per_throughput[{attribute}]",
+                    tags | frozenset({"workload"}),
+                    lambda raw, times, speed=speed: safe_inverse(speed(raw, times))
+                    / np.maximum(raw["throughput_rps"], _EPSILON),
+                )
+            )
+            specs.append(
+                FeatureSpec(
+                    f"used_per_swa_speed[{attribute}]",
+                    tags,
+                    lambda raw, times, speed=speed, attribute=attribute: raw[attribute]
+                    * safe_inverse(speed(raw, times)),
+                )
+            )
+            specs.append(
+                FeatureSpec(
+                    f"used_per_swa_speed_per_throughput[{attribute}]",
+                    tags | frozenset({"workload"}),
+                    lambda raw, times, speed=speed, attribute=attribute: raw[attribute]
+                    * safe_inverse(speed(raw, times))
+                    / np.maximum(raw["throughput_rps"], _EPSILON),
+                )
+            )
+        for attribute in _SWA_RAW_RESOURCES:
+            specs.append(
+                FeatureSpec(
+                    f"swa[{attribute}]",
+                    _RAW_TAGS[attribute],
+                    lambda raw, times, attribute=attribute: sliding_window_average(raw[attribute], self.window),
+                )
+            )
+        return specs
+
+    # --------------------------------------------------------------- interface
+
+    @property
+    def feature_names(self) -> list[str]:
+        return [spec.name for spec in self._specs]
+
+    @property
+    def feature_tags(self) -> dict[str, frozenset[str]]:
+        return {spec.name: spec.tags for spec in self._specs}
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def compute(self, trace: Trace) -> tuple[np.ndarray, list[str]]:
+        """Compute the feature matrix of a trace.
+
+        Returns ``(matrix, names)`` where the matrix has one row per
+        monitoring sample and one column per catalogue feature.  Raises
+        ``ValueError`` for empty traces.
+        """
+        if len(trace) == 0:
+            raise ValueError("cannot compute features of an empty trace")
+        times = trace.times()
+        raw = {attribute: trace.series(attribute) for attribute in _RAW_TAGS}
+        columns = [spec.compute(raw, times) for spec in self._specs]
+        matrix = np.column_stack(columns)
+        if not np.all(np.isfinite(matrix)):
+            raise ValueError("feature computation produced non-finite values")
+        return matrix, self.feature_names

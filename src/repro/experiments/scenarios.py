@@ -1,0 +1,93 @@
+"""Scenario parameters of the paper's four experiments.
+
+``ExperimentScenarios`` centralises every number Section 4 states: training
+workloads, injection rates, phase lengths and test workloads.  A single
+``scale`` knob lets callers shrink the testbed (heap, thread limit) for quick
+runs -- tests and examples use a scaled testbed, the benchmarks run the
+paper-scale configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.testbed.config import TestbedConfig
+
+__all__ = ["ExperimentScenarios"]
+
+
+@dataclass
+class ExperimentScenarios:
+    """Shared configuration of the Section 4 experiments.
+
+    Attributes
+    ----------
+    config:
+        Testbed configuration used for every run.
+    base_seed:
+        Seed from which each run's seed is derived (run index offsets keep
+        runs independent but reproducible).
+    phase_seconds_42 / phase_seconds_43 / phase_seconds_44:
+        Phase lengths of the dynamic (20 min), periodic (20 min) and
+        two-resource (30 min) experiments.
+    """
+
+    config: TestbedConfig = field(default_factory=TestbedConfig)
+    base_seed: int = 2010
+    #: Training workloads of Experiment 4.1 (emulated browsers).
+    training_workloads_41: tuple[int, ...] = (25, 50, 100, 200)
+    #: Test workloads of Experiment 4.1.
+    test_workloads_41: tuple[int, ...] = (75, 150)
+    #: Memory-leak parameter of Experiment 4.1.
+    memory_n_41: int = 30
+    #: Constant workload of Experiments 4.2 and 4.3.
+    workload_42: int = 100
+    #: Injection rates of the Experiment 4.2 training runs (None = healthy).
+    training_rates_42: tuple[int | None, ...] = (None, 15, 30, 75)
+    #: Phase schedule of the Experiment 4.2 test run: rate per 20-minute phase.
+    test_rates_42: tuple[int | None, ...] = (None, 30, 15, 75)
+    phase_seconds_42: float = 1200.0
+    #: Experiment 4.3 acquire/release rates and phase length.
+    acquire_n_43: int = 30
+    release_n_43: int = 75
+    phase_seconds_43: float = 1200.0
+    #: Experiment 4.4 training rates: memory-only and thread-only runs.
+    memory_rates_44: tuple[int, ...] = (15, 30, 75)
+    thread_rates_44: tuple[tuple[int, int], ...] = ((15, 120), (30, 90), (45, 60))
+    #: Experiment 4.4 test phases: (n, m, t) per 30-minute phase.
+    test_phases_44: tuple[tuple[int | None, int | None, int | None], ...] = (
+        (None, None, None),
+        (30, 30, 90),
+        (15, 15, 120),
+        (75, 45, 60),
+    )
+    phase_seconds_44: float = 1800.0
+    #: Duration of the healthy training run (1 hour in the paper).
+    healthy_run_seconds: float = 3600.0
+
+    @classmethod
+    def paper_scale(cls, seed: int = 2010) -> "ExperimentScenarios":
+        """The configuration closest to the paper: 1 GB heap, 2048 threads."""
+        return cls(config=TestbedConfig(), base_seed=seed)
+
+    @classmethod
+    def fast(cls, seed: int = 2010) -> "ExperimentScenarios":
+        """A scaled-down variant for tests and quick examples.
+
+        The heap and thread limits shrink by 4x and the phase lengths by 4x,
+        so every scenario crashes within a few simulated minutes-to-hours
+        while exercising identical code paths.
+        """
+        config = TestbedConfig().scaled_for_fast_runs(4.0)
+        return cls(
+            config=config,
+            base_seed=seed,
+            phase_seconds_42=300.0,
+            phase_seconds_43=300.0,
+            phase_seconds_44=450.0,
+            healthy_run_seconds=900.0,
+        )
+
+    def seed_for(self, run_index: int) -> int:
+        """Deterministic per-run seed."""
+        return self.base_seed + 97 * run_index

@@ -1,0 +1,247 @@
+"""Autoregressive time-series baselines for resource-exhaustion estimation.
+
+The related work the paper positions itself against (Li, Vaidyanathan &
+Trivedi, "An Approach for Estimation of Software Aging in a Web Server")
+estimates resource exhaustion with ARMA time-series models fitted to the
+resource usage signal.  These baselines assume a *single, known* aging
+resource and a roughly stationary trend -- exactly the assumptions the paper
+argues break down in dynamic scenarios -- so having them in the reproduction
+lets the benchmarks show where the trade-off lies.
+
+Two learners are provided:
+
+``ARModel``
+    A pure autoregressive model of order *p*, fitted by conditional least
+    squares on the (optionally differenced) series.
+``ARMAModel``
+    AR plus a moving-average component estimated with the two-stage
+    Hannan–Rissanen procedure (long-AR residuals as innovation proxies).
+
+Both expose :meth:`forecast` for multi-step extrapolation and
+:meth:`time_to_threshold`, which walks the forecast until the modelled
+resource crosses an exhaustion threshold -- the ARMA way of answering the
+paper's time-to-failure question.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ARModel", "ARMAModel"]
+
+
+class ARModel:
+    """Autoregressive model ``x_t = c + sum_i phi_i * x_{t-i} + e_t``.
+
+    Parameters
+    ----------
+    order:
+        Number of autoregressive lags *p*.
+    difference:
+        When true the model is fitted on the first differences of the series
+        and forecasts are re-integrated; this is the usual way to model a
+        trending resource-consumption signal with an AR process.
+    """
+
+    def __init__(self, order: int = 2, difference: bool = True) -> None:
+        if order < 1:
+            raise ValueError("order must be at least 1")
+        self.order = order
+        self.difference = difference
+        self._coefficients: np.ndarray | None = None
+        self._intercept: float = 0.0
+        self._history: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, series: Sequence[float]) -> "ARModel":
+        """Fit the AR coefficients on an observed series."""
+        values = np.asarray(series, dtype=float)
+        if values.ndim != 1:
+            raise ValueError("series must be one-dimensional")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("series must be finite")
+        working = np.diff(values) if self.difference else values.copy()
+        if working.shape[0] <= self.order + 1:
+            raise ValueError(
+                f"series too short for an AR({self.order}) model: "
+                f"need more than {self.order + 1} usable points, got {working.shape[0]}"
+            )
+        design = _lag_matrix(working, self.order)
+        target = working[self.order :]
+        augmented = np.column_stack([design, np.ones(design.shape[0])])
+        solution, *_ = np.linalg.lstsq(augmented, target, rcond=None)
+        self._coefficients = solution[:-1]
+        self._intercept = float(solution[-1])
+        self._history = values.copy()
+        return self
+
+    # ------------------------------------------------------------- forecast
+
+    def forecast(self, steps: int) -> np.ndarray:
+        """Extrapolate the fitted series ``steps`` points into the future."""
+        if steps < 1:
+            raise ValueError("steps must be at least 1")
+        coefficients, history = self._require_fitted()
+        working = np.diff(history) if self.difference else history.copy()
+        buffer = list(working[-self.order :])
+        level = float(history[-1])
+        output: list[float] = []
+        for _ in range(steps):
+            lags = np.array(buffer[-self.order :][::-1])
+            nxt = float(coefficients @ lags + self._intercept)
+            buffer.append(nxt)
+            if self.difference:
+                level += nxt
+                output.append(level)
+            else:
+                output.append(nxt)
+        return np.array(output)
+
+    def time_to_threshold(self, threshold: float, max_steps: int = 100_000, rising: bool = True) -> float | None:
+        """Number of future steps until the forecast crosses ``threshold``.
+
+        Returns ``None`` when the forecast never crosses within ``max_steps``
+        (the AR answer to "no aging detected").  ``rising`` selects whether
+        exhaustion means the signal growing above the threshold (used memory)
+        or falling below it (free memory).
+        """
+        forecast = self.forecast(max_steps)
+        if rising:
+            hits = np.nonzero(forecast >= threshold)[0]
+        else:
+            hits = np.nonzero(forecast <= threshold)[0]
+        if hits.size == 0:
+            return None
+        return float(hits[0] + 1)
+
+    # ----------------------------------------------------------- inspection
+
+    def _require_fitted(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._coefficients is None or self._history is None:
+            raise RuntimeError("the AR model has not been fitted yet")
+        return self._coefficients, self._history
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._coefficients is not None
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        return self._require_fitted()[0].copy()
+
+    @property
+    def intercept(self) -> float:
+        self._require_fitted()
+        return self._intercept
+
+
+class ARMAModel:
+    """ARMA(p, q) fitted with the two-stage Hannan–Rissanen procedure.
+
+    Stage one fits a long AR model to approximate the innovations; stage two
+    regresses the series on its own lags *and* the lagged innovation
+    estimates.  This avoids nonlinear optimisation while capturing the
+    short-memory corrections an MA component provides.
+    """
+
+    def __init__(self, ar_order: int = 2, ma_order: int = 1, difference: bool = True) -> None:
+        if ar_order < 1:
+            raise ValueError("ar_order must be at least 1")
+        if ma_order < 0:
+            raise ValueError("ma_order must be non-negative")
+        self.ar_order = ar_order
+        self.ma_order = ma_order
+        self.difference = difference
+        self._ar_coefficients: np.ndarray | None = None
+        self._ma_coefficients: np.ndarray | None = None
+        self._intercept: float = 0.0
+        self._history: np.ndarray | None = None
+        self._residuals: np.ndarray | None = None
+
+    def fit(self, series: Sequence[float]) -> "ARMAModel":
+        values = np.asarray(series, dtype=float)
+        if values.ndim != 1:
+            raise ValueError("series must be one-dimensional")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("series must be finite")
+        working = np.diff(values) if self.difference else values.copy()
+        long_order = max(self.ar_order + self.ma_order, self.ar_order) + 2
+        if working.shape[0] <= long_order + self.ar_order + self.ma_order + 1:
+            raise ValueError("series too short for the requested ARMA orders")
+
+        # Stage 1: long AR fit to estimate innovations.
+        long_design = _lag_matrix(working, long_order)
+        long_target = working[long_order:]
+        long_aug = np.column_stack([long_design, np.ones(long_design.shape[0])])
+        long_solution, *_ = np.linalg.lstsq(long_aug, long_target, rcond=None)
+        innovations = long_target - long_aug @ long_solution
+        padded = np.concatenate([np.zeros(long_order), innovations])
+
+        # Stage 2: regress on AR lags and lagged innovations jointly.
+        start = max(self.ar_order, self.ma_order)
+        rows = working.shape[0] - start
+        design_columns: list[np.ndarray] = []
+        for lag in range(1, self.ar_order + 1):
+            design_columns.append(working[start - lag : start - lag + rows])
+        for lag in range(1, self.ma_order + 1):
+            design_columns.append(padded[start - lag : start - lag + rows])
+        design = np.column_stack(design_columns) if design_columns else np.zeros((rows, 0))
+        augmented = np.column_stack([design, np.ones(rows)])
+        target = working[start:]
+        solution, *_ = np.linalg.lstsq(augmented, target, rcond=None)
+        self._ar_coefficients = solution[: self.ar_order]
+        self._ma_coefficients = solution[self.ar_order : self.ar_order + self.ma_order]
+        self._intercept = float(solution[-1])
+        self._history = values.copy()
+        self._residuals = padded
+        return self
+
+    def forecast(self, steps: int) -> np.ndarray:
+        """Extrapolate ``steps`` points; future innovations are taken as zero."""
+        if steps < 1:
+            raise ValueError("steps must be at least 1")
+        if self._ar_coefficients is None or self._history is None or self._residuals is None:
+            raise RuntimeError("the ARMA model has not been fitted yet")
+        working = np.diff(self._history) if self.difference else self._history.copy()
+        series_buffer = list(working)
+        residual_buffer = list(self._residuals)
+        level = float(self._history[-1])
+        output: list[float] = []
+        for _ in range(steps):
+            value = self._intercept
+            for lag in range(1, self.ar_order + 1):
+                value += float(self._ar_coefficients[lag - 1]) * series_buffer[-lag]
+            for lag in range(1, self.ma_order + 1):
+                value += float(self._ma_coefficients[lag - 1]) * residual_buffer[-lag]
+            series_buffer.append(value)
+            residual_buffer.append(0.0)
+            if self.difference:
+                level += value
+                output.append(level)
+            else:
+                output.append(value)
+        return np.array(output)
+
+    def time_to_threshold(self, threshold: float, max_steps: int = 100_000, rising: bool = True) -> float | None:
+        """Steps until the forecast crosses ``threshold`` (see :class:`ARModel`)."""
+        forecast = self.forecast(max_steps)
+        hits = np.nonzero(forecast >= threshold)[0] if rising else np.nonzero(forecast <= threshold)[0]
+        if hits.size == 0:
+            return None
+        return float(hits[0] + 1)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._ar_coefficients is not None
+
+
+def _lag_matrix(series: np.ndarray, order: int) -> np.ndarray:
+    """Build the lagged design matrix for conditional least squares."""
+    rows = series.shape[0] - order
+    matrix = np.empty((rows, order))
+    for lag in range(1, order + 1):
+        matrix[:, lag - 1] = series[order - lag : order - lag + rows]
+    return matrix

@@ -1,0 +1,96 @@
+"""Regression quality metrics shared by all learners.
+
+These are the plain statistical metrics (MAE, MSE, RMSE, R^2, correlation).
+The paper's domain-specific accuracy measures -- S-MAE with the 10 % security
+margin, PRE-MAE and POST-MAE -- live in :mod:`repro.core.evaluation` because
+they need the time axis of a prediction trace, not just two vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "r_squared",
+    "pearson_correlation",
+    "mean_absolute_percentage_error",
+]
+
+
+def _as_arrays(y_true: Sequence[float], y_pred: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and convert two equally sized sequences to float arrays."""
+    true_arr = np.asarray(y_true, dtype=float)
+    pred_arr = np.asarray(y_pred, dtype=float)
+    if true_arr.ndim != 1 or pred_arr.ndim != 1:
+        raise ValueError("metric inputs must be one-dimensional sequences")
+    if true_arr.shape != pred_arr.shape:
+        raise ValueError(
+            f"y_true and y_pred must have the same length, got {true_arr.shape[0]} and {pred_arr.shape[0]}"
+        )
+    if true_arr.size == 0:
+        raise ValueError("metric inputs must not be empty")
+    return true_arr, pred_arr
+
+
+def mean_absolute_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Average of ``|y_true - y_pred|`` (the paper's MAE, Section 2.2)."""
+    true_arr, pred_arr = _as_arrays(y_true, y_pred)
+    return float(np.mean(np.abs(true_arr - pred_arr)))
+
+
+def mean_squared_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Average of the squared residuals."""
+    true_arr, pred_arr = _as_arrays(y_true, y_pred)
+    return float(np.mean((true_arr - pred_arr) ** 2))
+
+
+def root_mean_squared_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Square root of :func:`mean_squared_error`."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_percentage_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """MAE expressed relative to the true value, ignoring zero targets.
+
+    Useful to compare errors across experiments whose time-to-failure scales
+    differ (the paper notes that 200 s over 1000 s is not the same as 2 min
+    over 10 min).
+    """
+    true_arr, pred_arr = _as_arrays(y_true, y_pred)
+    nonzero = np.abs(true_arr) > 1e-12
+    if not np.any(nonzero):
+        raise ValueError("all true values are zero; MAPE is undefined")
+    ratios = np.abs(true_arr[nonzero] - pred_arr[nonzero]) / np.abs(true_arr[nonzero])
+    return float(np.mean(ratios))
+
+
+def r_squared(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Coefficient of determination; 1.0 is perfect, 0.0 matches the mean."""
+    true_arr, pred_arr = _as_arrays(y_true, y_pred)
+    ss_res = float(np.sum((true_arr - pred_arr) ** 2))
+    ss_tot = float(np.sum((true_arr - np.mean(true_arr)) ** 2))
+    if ss_tot <= 1e-12:
+        # A constant target: perfect only if residuals are (numerically) zero.
+        return 1.0 if ss_res <= 1e-12 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def pearson_correlation(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Pearson correlation between true and predicted values.
+
+    Returns 0.0 when either vector is constant (the correlation is undefined
+    there, and "no linear relationship" is the safe interpretation for model
+    diagnostics).
+    """
+    true_arr, pred_arr = _as_arrays(y_true, y_pred)
+    std_true = float(np.std(true_arr))
+    std_pred = float(np.std(pred_arr))
+    if std_true <= 1e-12 or std_pred <= 1e-12:
+        return 0.0
+    cov = float(np.mean((true_arr - true_arr.mean()) * (pred_arr - pred_arr.mean())))
+    return cov / (std_true * std_pred)

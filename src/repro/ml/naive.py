@@ -1,0 +1,111 @@
+"""The analytic Equation (1) predictor: remaining resource over recent speed.
+
+Section 2 of the paper opens with the "perfect and easy world" formula
+
+    TTF_i = (Rmax_i - R_{i,t}) / S_i
+
+where ``Rmax`` is the resource capacity, ``R_{i,t}`` the amount used now and
+``S_i`` the consumption speed.  The paper's motivating examples show why this
+is too naive (heap resizes, periodic patterns, several resources at once), but
+it is still the natural straw-man baseline, so the reproduction implements it
+faithfully: the speed is estimated from a sliding window of recent samples and
+the formula is applied directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["NaiveSlopePredictor"]
+
+
+class NaiveSlopePredictor:
+    """Sliding-window slope extrapolation of a single resource.
+
+    Parameters
+    ----------
+    capacity:
+        The exhaustion level ``Rmax`` of the monitored resource.
+    window:
+        Number of recent observations used to estimate the consumption speed
+        (a least-squares slope over the window, which is less noisy than the
+        last pairwise difference).
+    horizon_cap:
+        Upper bound returned when the resource is not being consumed (or is
+        being released); mirrors the paper's convention of declaring a large
+        finite value ("3 hours") instead of infinity.
+    """
+
+    def __init__(self, capacity: float, window: int = 12, horizon_cap: float = 10_800.0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if window < 2:
+            raise ValueError("window must hold at least 2 observations")
+        if horizon_cap <= 0:
+            raise ValueError("horizon_cap must be positive")
+        self.capacity = capacity
+        self.window = window
+        self.horizon_cap = horizon_cap
+        self._times: deque[float] = deque(maxlen=window)
+        self._values: deque[float] = deque(maxlen=window)
+
+    def observe(self, time_seconds: float, used: float) -> None:
+        """Record one monitoring sample of the resource."""
+        if self._times and time_seconds <= self._times[-1]:
+            raise ValueError("observations must have strictly increasing timestamps")
+        self._times.append(float(time_seconds))
+        self._values.append(float(used))
+
+    def reset(self) -> None:
+        """Forget all recorded observations."""
+        self._times.clear()
+        self._values.clear()
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._values)
+
+    def consumption_speed(self) -> float:
+        """Least-squares slope (units of resource per second) over the window."""
+        if len(self._values) < 2:
+            return 0.0
+        times = np.array(self._times, dtype=float)
+        values = np.array(self._values, dtype=float)
+        centred = times - times.mean()
+        denominator = float(np.sum(centred**2))
+        if denominator <= 1e-12:
+            return 0.0
+        return float(np.sum(centred * (values - values.mean())) / denominator)
+
+    def predict_time_to_failure(self) -> float:
+        """Equation (1): seconds until the resource reaches its capacity.
+
+        Returns ``horizon_cap`` when the current speed is non-positive (no
+        aging visible from this window) and 0 when the resource is already at
+        or beyond capacity.
+        """
+        if not self._values:
+            return self.horizon_cap
+        remaining = self.capacity - self._values[-1]
+        if remaining <= 0:
+            return 0.0
+        speed = self.consumption_speed()
+        if speed <= 1e-12:
+            return self.horizon_cap
+        return float(min(remaining / speed, self.horizon_cap))
+
+    def predict_series(self, times: Sequence[float], values: Sequence[float]) -> np.ndarray:
+        """Replay a full trace and return the prediction after every sample."""
+        times_arr = np.asarray(times, dtype=float)
+        values_arr = np.asarray(values, dtype=float)
+        if times_arr.shape != values_arr.shape:
+            raise ValueError("times and values must have the same length")
+        self.reset()
+        predictions = np.empty(times_arr.shape[0])
+        for index, (timestamp, used) in enumerate(zip(times_arr, values_arr)):
+            self.observe(float(timestamp), float(used))
+            predictions[index] = self.predict_time_to_failure()
+        return predictions

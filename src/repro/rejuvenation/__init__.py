@@ -1,0 +1,29 @@
+"""Software-rejuvenation policies driven by (or compared against) the predictor.
+
+The introduction of the paper contrasts two rejuvenation strategies:
+**time-based** rejuvenation, applied blindly at fixed intervals, and
+**predictive/proactive** rejuvenation, triggered only when a crash due to
+software aging seems to approach.  The paper's conclusion (and its extended
+technical report) motivates the predictor precisely as the trigger for such
+proactive recovery.  This package implements both policies and a small
+availability simulator so the trade-off (number of rejuvenations versus
+downtime and lost work) can be measured on the same aging scenarios as the
+prediction experiments.
+"""
+
+from repro.rejuvenation.policies import (
+    NoRejuvenationPolicy,
+    PredictiveRejuvenationPolicy,
+    RejuvenationPolicy,
+    TimeBasedRejuvenationPolicy,
+)
+from repro.rejuvenation.simulator import RejuvenationOutcome, simulate_policy
+
+__all__ = [
+    "NoRejuvenationPolicy",
+    "PredictiveRejuvenationPolicy",
+    "RejuvenationOutcome",
+    "RejuvenationPolicy",
+    "TimeBasedRejuvenationPolicy",
+    "simulate_policy",
+]

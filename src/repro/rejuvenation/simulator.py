@@ -1,0 +1,155 @@
+"""Availability simulation of rejuvenation policies on aging scenarios.
+
+The simulator plays back freshly generated aging runs ("epochs") against a
+policy.  Every epoch either ends in a **rejuvenation** (the policy fired: a
+short, planned downtime) or in a **crash** (the policy missed it or chose not
+to act: a long, unplanned downtime).  Epochs repeat until the requested
+horizon of operation is covered, and the outcome aggregates uptime, downtime,
+the number of restarts of each kind and the resulting availability -- the
+quantities behind the paper's motivation that predictive rejuvenation reduces
+both unplanned outages and unnecessary restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.rejuvenation.policies import RejuvenationPolicy
+from repro.testbed.monitoring.collector import Trace
+
+__all__ = ["RejuvenationOutcome", "simulate_policy"]
+
+#: A factory that produces a fresh aging run for epoch ``index``.
+TraceFactory = Callable[[int], Trace]
+
+
+@dataclass(frozen=True)
+class RejuvenationOutcome:
+    """Aggregate result of operating one policy for a horizon."""
+
+    policy_description: str
+    horizon_seconds: float
+    uptime_seconds: float
+    planned_downtime_seconds: float
+    unplanned_downtime_seconds: float
+    crashes: int
+    rejuvenations: int
+
+    @property
+    def downtime_seconds(self) -> float:
+        return self.planned_downtime_seconds + self.unplanned_downtime_seconds
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the horizon the service was up."""
+        total = self.uptime_seconds + self.downtime_seconds
+        if total <= 0:
+            return 0.0
+        return self.uptime_seconds / total
+
+    @property
+    def unplanned_downtime_fraction(self) -> float:
+        """Share of the downtime caused by crashes rather than planned restarts."""
+        if self.downtime_seconds <= 0:
+            return 0.0
+        return self.unplanned_downtime_seconds / self.downtime_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy_description}: availability {self.availability:.4f}, "
+            f"{self.crashes} crashes, {self.rejuvenations} rejuvenations, "
+            f"{self.downtime_seconds / 60.0:.1f} min downtime over {self.horizon_seconds / 3600.0:.1f} h"
+        )
+
+
+def simulate_policy(
+    policy: RejuvenationPolicy,
+    trace_factory: TraceFactory,
+    horizon_seconds: float,
+    rejuvenation_downtime_seconds: float = 120.0,
+    crash_downtime_seconds: float = 900.0,
+    max_epochs: int = 200,
+) -> RejuvenationOutcome:
+    """Operate ``policy`` for ``horizon_seconds`` of service time.
+
+    Parameters
+    ----------
+    policy:
+        The rejuvenation policy under evaluation.
+    trace_factory:
+        Called with the epoch index to obtain a fresh aging run; the run
+        describes how the server *would* age if never restarted.
+    horizon_seconds:
+        Total operation time to cover (uptime plus downtime).
+    rejuvenation_downtime_seconds / crash_downtime_seconds:
+        Penalty charged for a planned restart versus an unplanned crash
+        (a clean restart is much cheaper than recovering from a hang).
+    max_epochs:
+        Safety bound on the number of epochs.
+    """
+    if horizon_seconds <= 0:
+        raise ValueError("horizon_seconds must be positive")
+    if rejuvenation_downtime_seconds <= 0 or crash_downtime_seconds <= 0:
+        raise ValueError("downtimes must be positive")
+    if max_epochs < 1:
+        raise ValueError("max_epochs must be at least 1")
+
+    elapsed = 0.0
+    uptime = 0.0
+    planned_downtime = 0.0
+    unplanned_downtime = 0.0
+    crashes = 0
+    rejuvenations = 0
+    epoch = 0
+    while elapsed < horizon_seconds and epoch < max_epochs:
+        trace = trace_factory(epoch)
+        epoch += 1
+        epoch_uptime, outcome = _play_epoch(policy, trace)
+        remaining = horizon_seconds - elapsed
+        if epoch_uptime >= remaining:
+            # The horizon ends while this epoch is still running fine.
+            uptime += remaining
+            elapsed = horizon_seconds
+            break
+        uptime += epoch_uptime
+        elapsed += epoch_uptime
+        if outcome == "rejuvenated":
+            rejuvenations += 1
+            penalty = min(rejuvenation_downtime_seconds, horizon_seconds - elapsed)
+            planned_downtime += penalty
+            elapsed += penalty
+            policy.notify_rejuvenation(epoch_uptime)
+        elif outcome == "crashed":
+            crashes += 1
+            penalty = min(crash_downtime_seconds, horizon_seconds - elapsed)
+            unplanned_downtime += penalty
+            elapsed += penalty
+        # "exhausted" epochs (the trace ended healthy) simply continue with a
+        # fresh epoch and no downtime.
+    return RejuvenationOutcome(
+        policy_description=policy.describe(),
+        horizon_seconds=horizon_seconds,
+        uptime_seconds=uptime,
+        planned_downtime_seconds=planned_downtime,
+        unplanned_downtime_seconds=unplanned_downtime,
+        crashes=crashes,
+        rejuvenations=rejuvenations,
+    )
+
+
+def _play_epoch(policy: RejuvenationPolicy, trace: Trace) -> tuple[float, str]:
+    """Play one epoch; return its uptime and how it ended.
+
+    The outcome is ``"rejuvenated"`` when the policy fired, ``"crashed"``
+    when the run reached its crash, and ``"exhausted"`` when the trace ended
+    without either (a healthy run shorter than the horizon).
+    """
+    history = Trace(workload_ebs=trace.workload_ebs)
+    for sample in trace:
+        history.samples.append(sample)
+        if policy.should_rejuvenate(sample, history):
+            return sample.time_seconds, "rejuvenated"
+    if trace.crashed and trace.crash_time_seconds is not None:
+        return float(trace.crash_time_seconds), "crashed"
+    return trace.duration_seconds, "exhausted"

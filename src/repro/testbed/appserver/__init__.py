@@ -1,0 +1,7 @@
+"""Tomcat-like application server: thread pool, servlets and request handling."""
+
+from repro.testbed.appserver.servlet import Servlet, ServletRegistry
+from repro.testbed.appserver.thread_pool import ThreadPool
+from repro.testbed.appserver.tomcat import RequestOutcome, TomcatServer
+
+__all__ = ["RequestOutcome", "Servlet", "ServletRegistry", "ThreadPool", "TomcatServer"]

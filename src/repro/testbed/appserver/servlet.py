@@ -1,0 +1,74 @@
+"""Servlets of the simulated TPC-W application.
+
+The paper injects its memory leak by modifying one concrete servlet
+(``TPCW_search_request_servlet``); fault injectors therefore need a hook that
+fires per servlet invocation.  ``Servlet`` counts its own invocations and
+notifies registered listeners, and ``ServletRegistry`` maps TPC-W interactions
+to servlet instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.testbed.tpcw.interactions import INTERACTIONS, Interaction
+
+__all__ = ["Servlet", "ServletRegistry"]
+
+ServletListener = Callable[["Servlet"], None]
+
+
+class Servlet:
+    """One servlet of the web application.
+
+    Listeners registered with :meth:`add_listener` are called after every
+    invocation; the memory-leak injector uses this to count search-servlet
+    requests exactly as the modified TPC-W implementation of the paper does.
+    """
+
+    def __init__(self, interaction: Interaction) -> None:
+        self.interaction = interaction
+        self.invocations = 0
+        self._listeners: list[ServletListener] = []
+
+    @property
+    def name(self) -> str:
+        return self.interaction.name
+
+    def add_listener(self, listener: ServletListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: ServletListener) -> None:
+        self._listeners.remove(listener)
+
+    def invoke(self) -> None:
+        """Record one invocation and notify listeners."""
+        self.invocations += 1
+        for listener in self._listeners:
+            listener(self)
+
+
+class ServletRegistry:
+    """All servlets of the application, indexed by interaction name."""
+
+    def __init__(self, interactions: Iterable[Interaction] = INTERACTIONS) -> None:
+        self._servlets = {interaction.name: Servlet(interaction) for interaction in interactions}
+        if not self._servlets:
+            raise ValueError("the servlet registry cannot be empty")
+
+    def get(self, name: str) -> Servlet:
+        try:
+            return self._servlets[name]
+        except KeyError:
+            valid = ", ".join(sorted(self._servlets))
+            raise KeyError(f"unknown servlet {name!r}; valid names: {valid}") from None
+
+    def __iter__(self):
+        return iter(self._servlets.values())
+
+    def __len__(self) -> int:
+        return len(self._servlets)
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(servlet.invocations for servlet in self._servlets.values())

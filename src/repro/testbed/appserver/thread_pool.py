@@ -1,0 +1,132 @@
+"""Worker-thread pool of the simulated application server.
+
+Two populations share the thread limit:
+
+* **worker threads** serving requests -- they grow with concurrency and shrink
+  back towards the configured base pool when load drops;
+* **leaked threads** created by the thread-leak injector (Experiment 4.4) --
+  they never terminate, and each one pins native stack memory at the OS level
+  and a small amount of Java heap (the paper points out that every Java thread
+  keeps a system thread until it dies and consumes Java memory by itself).
+
+When the total would exceed the server's thread limit the pool raises
+:class:`repro.testbed.errors.ThreadExhaustionError`, which the engine treats
+as the crash of the run.
+"""
+
+from __future__ import annotations
+
+from repro.testbed.errors import ThreadExhaustionError
+
+__all__ = ["ThreadPool"]
+
+
+class ThreadPool:
+    """Bounded thread pool with explicit leak accounting.
+
+    Parameters
+    ----------
+    base_threads:
+        Worker threads Tomcat always keeps alive.
+    max_threads:
+        Hard limit on the total number of threads (workers + leaked).
+    """
+
+    def __init__(self, base_threads: int, max_threads: int) -> None:
+        if base_threads < 1:
+            raise ValueError("base_threads must be at least 1")
+        if max_threads <= base_threads:
+            raise ValueError("max_threads must exceed base_threads")
+        self.base_threads = base_threads
+        self.max_threads = max_threads
+        self._peak_workers = base_threads
+        self._busy_workers = 0
+        self._leaked = 0
+
+    # ------------------------------------------------------------ accounting
+
+    @property
+    def busy_workers(self) -> int:
+        """Workers currently serving a request."""
+        return self._busy_workers
+
+    @property
+    def worker_threads(self) -> int:
+        """Worker threads currently alive (base pool grown to the busy peak)."""
+        return max(self.base_threads, self._peak_workers)
+
+    @property
+    def leaked_threads(self) -> int:
+        return self._leaked
+
+    @property
+    def total_threads(self) -> int:
+        """Worker plus leaked threads -- the Table 2 ``Num. Threads`` metric."""
+        return self.worker_threads + self._leaked
+
+    @property
+    def available_threads(self) -> int:
+        return max(self.max_threads - self.total_threads, 0)
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the thread limit currently in use."""
+        return self.total_threads / self.max_threads
+
+    # -------------------------------------------------------------- requests
+
+    def set_concurrency(self, concurrent_requests: int) -> None:
+        """Record how many requests are in service during the current tick.
+
+        Worker threads are created on demand up to the remaining limit; the
+        peak is remembered because Tomcat does not tear idle workers down
+        immediately (and the paper's thread metric counts live threads, not
+        busy ones).
+        """
+        if concurrent_requests < 0:
+            raise ValueError("concurrent_requests must be non-negative")
+        available_for_workers = self.max_threads - self._leaked
+        self._busy_workers = min(concurrent_requests, available_for_workers)
+        needed = max(self.base_threads, self._busy_workers)
+        if needed > self._peak_workers:
+            self._peak_workers = min(needed, available_for_workers)
+
+    # ----------------------------------------------------------------- leaks
+
+    def leak(self, count: int) -> None:
+        """Create ``count`` never-terminating threads.
+
+        Raises :class:`ThreadExhaustionError` when the limit is crossed;
+        partial creation is applied first so the crash happens at the exact
+        thread count that exceeded the limit, like a real JVM failing inside
+        ``Thread.start()``.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        room = self.max_threads - self.total_threads
+        if count > room:
+            self._leaked += max(room, 0)
+            raise ThreadExhaustionError(
+                f"unable to create new native thread: {self.total_threads} threads alive, "
+                f"limit is {self.max_threads}"
+            )
+        self._leaked += count
+
+    def release_leaked(self, count: int | None = None) -> int:
+        """Terminate leaked threads (used by rejuvenation actions)."""
+        if count is None:
+            released = self._leaked
+            self._leaked = 0
+            return released
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        released = min(count, self._leaked)
+        self._leaked -= released
+        return released
+
+    def reset_workers(self) -> None:
+        """Shrink the worker pool back to its base size (rejuvenation)."""
+        self._peak_workers = self.base_threads
+        self._busy_workers = 0

@@ -1,0 +1,5 @@
+"""MySQL-like database server model."""
+
+from repro.testbed.database.mysql import MySQLServer
+
+__all__ = ["MySQLServer"]

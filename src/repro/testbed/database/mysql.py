@@ -1,0 +1,66 @@
+"""Database tier of the simulated testbed.
+
+The paper's aging faults live entirely in the application server, so the
+database model only needs to provide (a) realistic per-interaction query
+latencies that grow mildly with concurrency and (b) the connection count that
+appears among the Table 2 variables (``Num. Mysql Connections``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["MySQLServer"]
+
+
+class MySQLServer:
+    """Connection pool and query-latency model of the MySQL tier.
+
+    Parameters
+    ----------
+    base_query_time_s:
+        Latency of a single query on an idle server.
+    max_connections:
+        Size of the application server's JDBC connection pool.
+    memory_mb:
+        Resident memory of the database process (constant; it contributes to
+        the system-memory metric of the client/DB machine, not to Tomcat's).
+    """
+
+    def __init__(
+        self,
+        base_query_time_s: float = 0.004,
+        max_connections: int = 151,
+        memory_mb: float = 380.0,
+    ) -> None:
+        if base_query_time_s <= 0:
+            raise ValueError("base_query_time_s must be positive")
+        if max_connections < 1:
+            raise ValueError("max_connections must be at least 1")
+        self.base_query_time_s = base_query_time_s
+        self.max_connections = max_connections
+        self.memory_mb = memory_mb
+        self._active_connections = 0
+        self.total_queries = 0
+
+    @property
+    def active_connections(self) -> int:
+        """Connections in use during the current tick."""
+        return self._active_connections
+
+    def begin_tick(self) -> None:
+        """Reset the per-tick connection counter (called by the engine)."""
+        self._active_connections = 0
+
+    def execute_queries(self, count: int) -> float:
+        """Execute ``count`` queries and return their total latency in seconds.
+
+        Latency grows linearly with the fraction of the connection pool in
+        use, a simple stand-in for lock and buffer-pool contention.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return 0.0
+        self._active_connections = min(self._active_connections + 1, self.max_connections)
+        self.total_queries += count
+        contention = 1.0 + self._active_connections / self.max_connections
+        return count * self.base_query_time_s * contention

@@ -1,0 +1,190 @@
+"""The simulation engine that wires the testbed together and runs experiments.
+
+``TestbedSimulation`` assembles the workload generator, application server,
+JVM heap, OS view, database and fault injectors, advances them tick by tick,
+samples the monitoring variables every 15 seconds and stops either when the
+server crashes (the normal ending of an aging experiment) or when a time
+limit is reached (the paper's one-hour no-injection training run).
+
+Mid-run changes -- the essence of the dynamic scenarios of Experiments 4.2
+and 4.4, where injection rates change every 20 or 30 minutes -- are expressed
+as :class:`ScheduledAction` objects: a time plus a callable that receives the
+simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.testbed.appserver.thread_pool import ThreadPool
+from repro.testbed.appserver.tomcat import TomcatServer
+from repro.testbed.clock import SimulationClock
+from repro.testbed.config import TestbedConfig
+from repro.testbed.database.mysql import MySQLServer
+from repro.testbed.errors import ServerCrash
+from repro.testbed.faults.injector import FaultInjector
+from repro.testbed.jvm.heap import GenerationalHeap
+from repro.testbed.monitoring.collector import MetricsCollector, Trace
+from repro.testbed.osmodel.system import OperatingSystem
+from repro.testbed.tpcw.workload import WorkloadGenerator, WorkloadMix
+
+__all__ = ["ScheduledAction", "TestbedSimulation"]
+
+
+@dataclass
+class ScheduledAction:
+    """An action applied to the running simulation at a fixed time.
+
+    The callable receives the :class:`TestbedSimulation`; typical uses are
+    ``lambda sim: injector.set_rate(15)`` for the rate changes of Experiment
+    4.2 or workload changes in ablation scenarios.  ``label`` is recorded in
+    the trace metadata so experiment phases stay identifiable downstream.
+    """
+
+    time_seconds: float
+    action: Callable[["TestbedSimulation"], None]
+    label: str = ""
+
+
+class TestbedSimulation:
+    """One runnable instance of the simulated three-tier testbed.
+
+    Parameters
+    ----------
+    config:
+        Testbed configuration (heap geometry, thread limits, cadences).
+    workload_ebs:
+        Number of concurrent TPC-W emulated browsers.
+    injectors:
+        Aging-fault injectors to attach to the application server.
+    schedule:
+        Scheduled mid-run actions (rate changes, workload changes).
+    mix:
+        TPC-W traffic mix (the paper uses the shopping mix).
+    seed:
+        Master seed; the workload generator derives its own stream from it so
+        two simulations with the same seed produce identical traces.
+    """
+
+    def __init__(
+        self,
+        config: TestbedConfig | None = None,
+        workload_ebs: int = 100,
+        injectors: Iterable[FaultInjector] = (),
+        schedule: Sequence[ScheduledAction] = (),
+        mix: WorkloadMix = WorkloadMix.SHOPPING,
+        seed: int = 0,
+    ) -> None:
+        self.config = config if config is not None else TestbedConfig()
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+        self.clock = SimulationClock(self.config.tick_seconds)
+        self.heap = GenerationalHeap(
+            young_capacity_mb=self.config.young_capacity_mb,
+            old_initial_mb=self.config.old_initial_mb,
+            old_max_mb=self.config.max_old_mb,
+            perm_mb=self.config.perm_mb,
+            old_resize_step_mb=self.config.old_resize_step_mb,
+            promotion_fraction=self.config.promotion_fraction,
+            full_gc_release_fraction=self.config.full_gc_release_fraction,
+        )
+        self.thread_pool = ThreadPool(
+            base_threads=self.config.base_worker_threads,
+            max_threads=self.config.max_threads,
+        )
+        self.database = MySQLServer(memory_mb=self.config.mysql_memory_mb)
+        self.server = TomcatServer(self.config, self.heap, self.thread_pool, self.database)
+        self.operating_system = OperatingSystem(self.config)
+        self.workload = WorkloadGenerator(
+            num_browsers=workload_ebs,
+            mean_think_time_s=self.config.mean_think_time_s,
+            mix=mix,
+            seed=self._rng.randrange(2**31),
+        )
+        self.collector = MetricsCollector(self.config.monitoring_interval_s)
+
+        self.injectors: list[FaultInjector] = list(injectors)
+        for injector in self.injectors:
+            injector.attach(self.server)
+        self._schedule = sorted(schedule, key=lambda item: item.time_seconds)
+        self._next_scheduled = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, max_seconds: float = 4 * 3600.0) -> Trace:
+        """Run until the server crashes or ``max_seconds`` elapse.
+
+        Returns the trace of monitoring samples; the trace's ``crashed`` flag
+        and ``crash_time_seconds`` record how the run ended.  A simulation
+        object is single-use: call :meth:`run` once.
+        """
+        if max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+        if self._finished:
+            raise RuntimeError("this simulation has already been run; create a new one")
+        self._finished = True
+
+        trace = Trace(
+            workload_ebs=self.workload.num_browsers,
+            metadata={
+                "seed": self.seed,
+                "injectors": [injector.describe() for injector in self.injectors],
+                "schedule": [item.label or f"action@{item.time_seconds:.0f}s" for item in self._schedule],
+                "mix": self.workload.mix.value,
+            },
+        )
+
+        while self.clock.now < max_seconds:
+            now = self.clock.advance()
+            self.heap.set_time(now)
+            self._apply_scheduled_actions(now)
+            self.server.begin_tick()
+            self.database.begin_tick()
+            try:
+                requests_this_tick = self._run_one_tick(now)
+            except ServerCrash as crash:
+                trace.crashed = True
+                trace.crash_time_seconds = now
+                trace.crash_resource = crash.resource
+                trace.metadata["crash_message"] = str(crash)
+                break
+            self.operating_system.update(
+                self.config.tick_seconds,
+                tomcat_footprint_mb=self.server.memory_footprint_mb(),
+                busy_threads=self.thread_pool.busy_workers + 1,
+                requests_completed=requests_this_tick,
+            )
+            if self.collector.due(now):
+                trace.samples.append(
+                    self.collector.collect(
+                        now,
+                        server=self.server,
+                        operating_system=self.operating_system,
+                        database=self.database,
+                        workload_ebs=self.workload.num_browsers,
+                    )
+                )
+        return trace
+
+    def _run_one_tick(self, now: float) -> int:
+        """Advance workload, serve requests and drive injectors for one tick.
+
+        Returns the number of requests served this tick (used by the OS model
+        for request-driven disk growth).
+        """
+        issued = self.workload.tick(self.config.tick_seconds)
+        for browser, interaction in issued:
+            outcome = self.server.handle_request(interaction)
+            browser.start_request(outcome.response_time_s)
+        for injector in self.injectors:
+            injector.on_tick(now)
+        return len(issued)
+
+    def _apply_scheduled_actions(self, now: float) -> None:
+        while self._next_scheduled < len(self._schedule) and self._schedule[self._next_scheduled].time_seconds <= now:
+            self._schedule[self._next_scheduled].action(self)
+            self._next_scheduled += 1

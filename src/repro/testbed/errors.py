@@ -1,0 +1,34 @@
+"""Crash exceptions raised by the simulated testbed.
+
+The paper lets every aging experiment run "until the crash of Tomcat"; the
+simulation mirrors that by raising one of these exceptions, which the engine
+catches and converts into the crash timestamp of the produced trace.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServerCrash", "OutOfMemoryError", "ThreadExhaustionError"]
+
+
+class ServerCrash(Exception):
+    """Base class for every failure that terminates an experiment run."""
+
+    def __init__(self, message: str, resource: str) -> None:
+        super().__init__(message)
+        #: Name of the exhausted resource ("memory" or "threads"); used by the
+        #: experiments to label traces and by the root-cause benchmarks.
+        self.resource = resource
+
+
+class OutOfMemoryError(ServerCrash):
+    """The JVM heap could not satisfy an allocation even after a full GC."""
+
+    def __init__(self, message: str = "java.lang.OutOfMemoryError: Java heap space") -> None:
+        super().__init__(message, resource="memory")
+
+
+class ThreadExhaustionError(ServerCrash):
+    """The server hit its thread limit and cannot create new threads."""
+
+    def __init__(self, message: str = "java.lang.OutOfMemoryError: unable to create new native thread") -> None:
+        super().__init__(message, resource="threads")

@@ -1,0 +1,14 @@
+"""Aging-fault injectors: memory leaks, thread leaks and periodic patterns."""
+
+from repro.testbed.faults.injector import FaultInjector
+from repro.testbed.faults.memory_leak import MemoryLeakInjector
+from repro.testbed.faults.periodic import PeriodicPatternInjector, PeriodicPhase
+from repro.testbed.faults.thread_leak import ThreadLeakInjector
+
+__all__ = [
+    "FaultInjector",
+    "MemoryLeakInjector",
+    "PeriodicPatternInjector",
+    "PeriodicPhase",
+    "ThreadLeakInjector",
+]

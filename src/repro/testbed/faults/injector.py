@@ -1,0 +1,57 @@
+"""Common interface of the aging-fault injectors.
+
+An injector can hook two points of the simulation:
+
+* :meth:`FaultInjector.attach` -- called once by the engine so the injector
+  can register servlet listeners and keep references to the server;
+* :meth:`FaultInjector.on_tick` -- called every simulation tick with the
+  current time, for time-driven faults such as the thread leak.
+
+Workload-driven faults (the memory leak) act from servlet listeners rather
+than from ``on_tick``, exactly like the paper's modified search servlet.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.testbed.appserver.tomcat import TomcatServer
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector(abc.ABC):
+    """Base class for every aging-fault injector."""
+
+    def __init__(self) -> None:
+        self._server: "TomcatServer | None" = None
+
+    @property
+    def server(self) -> "TomcatServer":
+        if self._server is None:
+            raise RuntimeError(f"{type(self).__name__} has not been attached to a server")
+        return self._server
+
+    @property
+    def is_attached(self) -> bool:
+        return self._server is not None
+
+    def attach(self, server: "TomcatServer") -> None:
+        """Bind the injector to the application server it will degrade."""
+        if self._server is not None:
+            raise RuntimeError(f"{type(self).__name__} is already attached")
+        self._server = server
+        self._register(server)
+
+    def _register(self, server: "TomcatServer") -> None:
+        """Hook for subclasses that need servlet listeners; optional."""
+
+    @abc.abstractmethod
+    def on_tick(self, time_seconds: float) -> None:
+        """Advance the injector to ``time_seconds`` (called every tick)."""
+
+    def describe(self) -> str:
+        """One-line human-readable description used in trace metadata."""
+        return type(self).__name__

@@ -1,0 +1,113 @@
+"""Workload-coupled memory-leak injection (the paper's parameter ``N``).
+
+The paper modifies ``TPCW_search_request_servlet`` so that it "computes a
+random number between 0 and N.  This number determines how many requests use
+the servlet before the next memory consumption is injected."  Injection is
+therefore *workload dependent*: more emulated browsers mean more search
+requests per second, which means leaks accumulate faster -- and the mean
+consumption rate is governed by the single parameter ``N``.
+
+``MemoryLeakInjector`` reproduces that mechanism literally: it listens on the
+search servlet, counts invocations, and every time the random threshold is
+reached it allocates ``leak_mb`` of never-collected memory in the Old zone of
+the JVM heap.  The rate can be changed (or disabled) mid-run, which is how the
+dynamic-aging scenario of Experiment 4.2 switches between N = 30, 15 and 75.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from repro.testbed.faults.injector import FaultInjector
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.testbed.appserver.servlet import Servlet
+    from repro.testbed.appserver.tomcat import TomcatServer
+
+__all__ = ["MemoryLeakInjector"]
+
+
+class MemoryLeakInjector(FaultInjector):
+    """Inject ``leak_mb`` after a random number of search-servlet requests.
+
+    Parameters
+    ----------
+    n:
+        The paper's ``N``: the random request count before the next injection
+        is drawn uniformly from ``0..N``.  ``None`` starts the injector
+        disabled (no aging), as in the first phase of Experiment 4.2.
+    leak_mb:
+        Megabytes leaked per injection (1 MB in every experiment of the
+        paper).
+    servlet_name:
+        The servlet whose invocations drive the injection.
+    seed:
+        Seed of the injector's private random generator.
+    """
+
+    def __init__(
+        self,
+        n: int | None = 30,
+        leak_mb: float = 1.0,
+        servlet_name: str = "search_request",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n is not None and n < 1:
+            raise ValueError("n must be at least 1 (or None to disable injection)")
+        if leak_mb <= 0:
+            raise ValueError("leak_mb must be positive")
+        self._n = n
+        self.leak_mb = float(leak_mb)
+        self.servlet_name = servlet_name
+        self._rng = random.Random(seed)
+        self._requests_until_injection = self._draw_threshold()
+        self.total_injections = 0
+        self.total_leaked_mb = 0.0
+
+    # -------------------------------------------------------------- plumbing
+
+    def _register(self, server: "TomcatServer") -> None:
+        server.servlets.get(self.servlet_name).add_listener(self._on_servlet_invocation)
+
+    def _draw_threshold(self) -> int | None:
+        if self._n is None:
+            return None
+        return self._rng.randint(0, self._n)
+
+    # ------------------------------------------------------------------ rate
+
+    @property
+    def n(self) -> int | None:
+        return self._n
+
+    def set_rate(self, n: int | None) -> None:
+        """Change the injection rate mid-run (``None`` disables injection)."""
+        if n is not None and n < 1:
+            raise ValueError("n must be at least 1 (or None to disable injection)")
+        self._n = n
+        self._requests_until_injection = self._draw_threshold()
+
+    # ------------------------------------------------------------ injections
+
+    def _on_servlet_invocation(self, servlet: "Servlet") -> None:
+        if self._requests_until_injection is None:
+            return
+        self._requests_until_injection -= 1
+        if self._requests_until_injection > 0:
+            return
+        self.server.heap.allocate_leak(self.leak_mb)
+        self.total_injections += 1
+        self.total_leaked_mb += self.leak_mb
+        self._requests_until_injection = self._draw_threshold()
+        if self._requests_until_injection == 0:
+            # A drawn threshold of zero means "inject on the very next visit".
+            self._requests_until_injection = 1
+
+    def on_tick(self, time_seconds: float) -> None:
+        """The memory leak is purely workload driven; nothing happens per tick."""
+
+    def describe(self) -> str:
+        rate = "disabled" if self._n is None else f"N={self._n}"
+        return f"MemoryLeakInjector({rate}, {self.leak_mb:.1f} MB per injection)"

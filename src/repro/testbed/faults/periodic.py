@@ -1,0 +1,164 @@
+"""Periodic acquire/release memory pattern (Figure 2 and Experiment 4.3).
+
+The paper's second motivating example modifies the application to cycle
+through three 20-minute phases: normal behaviour, abnormal memory
+consumption, and release of the memory acquired in the previous phase.
+Experiment 4.3 then turns that benign pattern into hidden aging by making the
+release phase *slower* than the acquisition phase (acquire with ``N = 30``,
+release with ``N = 75``), so some memory is retained every cycle and the
+application eventually crashes.
+
+``PeriodicPatternInjector`` implements both variants.  Acquisition and
+release are driven by search-servlet invocations exactly like the plain
+memory leak, so the pattern remains workload coupled.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import typing
+
+from repro.testbed.faults.injector import FaultInjector
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.testbed.appserver.servlet import Servlet
+    from repro.testbed.appserver.tomcat import TomcatServer
+
+__all__ = ["PeriodicPatternInjector", "PeriodicPhase"]
+
+
+class PeriodicPhase(enum.Enum):
+    """The three phases the application cycles through."""
+
+    NORMAL = "normal"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+
+
+class PeriodicPatternInjector(FaultInjector):
+    """Cycle through normal / acquire / release phases of equal length.
+
+    Parameters
+    ----------
+    phase_duration_s:
+        Length of each phase (20 minutes in the paper).
+    acquire_n:
+        ``N`` parameter during the acquisition phase (allocate ``block_mb``
+        after a random number of search requests drawn from ``0..acquire_n``).
+    release_n:
+        ``N`` parameter during the release phase.  A larger value than
+        ``acquire_n`` means release is slower than acquisition, so memory is
+        retained each cycle -- the hidden aging of Experiment 4.3.
+    block_mb:
+        Megabytes acquired or released per event (1 MB in the paper).
+    full_release:
+        When true, whatever remains of the cycle's acquired memory is freed
+        at the end of the release phase; this reproduces the *benign* pattern
+        of Figure 2 (no net aging).  When false (default), only the
+        event-driven releases happen and the remainder is retained.
+    start_phase:
+        Phase the experiment starts in (the paper starts with normal
+        behaviour).
+    seed:
+        Seed of the injector's private random generator.
+    """
+
+    def __init__(
+        self,
+        phase_duration_s: float = 1200.0,
+        acquire_n: int = 30,
+        release_n: int = 75,
+        block_mb: float = 1.0,
+        full_release: bool = False,
+        start_phase: PeriodicPhase = PeriodicPhase.NORMAL,
+        servlet_name: str = "search_request",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if phase_duration_s <= 0:
+            raise ValueError("phase_duration_s must be positive")
+        if acquire_n < 1 or release_n < 1:
+            raise ValueError("acquire_n and release_n must be at least 1")
+        if block_mb <= 0:
+            raise ValueError("block_mb must be positive")
+        self.phase_duration_s = float(phase_duration_s)
+        self.acquire_n = acquire_n
+        self.release_n = release_n
+        self.block_mb = float(block_mb)
+        self.full_release = full_release
+        self.servlet_name = servlet_name
+        self._rng = random.Random(seed)
+
+        self._phase = start_phase
+        self._phase_started_at = 0.0
+        self._requests_until_event = self._draw_threshold()
+        #: Memory acquired during the current cycle and not yet released.
+        self._cycle_acquired_mb = 0.0
+        self.total_acquired_mb = 0.0
+        self.total_released_mb = 0.0
+        self.phase_history: list[tuple[float, PeriodicPhase]] = [(0.0, start_phase)]
+
+    # -------------------------------------------------------------- plumbing
+
+    def _register(self, server: "TomcatServer") -> None:
+        server.servlets.get(self.servlet_name).add_listener(self._on_servlet_invocation)
+
+    def _draw_threshold(self) -> int:
+        n = self.acquire_n if self._phase is PeriodicPhase.ACQUIRE else self.release_n
+        return max(self._rng.randint(0, n), 1)
+
+    # ----------------------------------------------------------------- phase
+
+    @property
+    def phase(self) -> PeriodicPhase:
+        return self._phase
+
+    @property
+    def retained_cycle_mb(self) -> float:
+        """Memory acquired in the current cycle and not yet released."""
+        return self._cycle_acquired_mb
+
+    def _advance_phase(self, time_seconds: float) -> None:
+        order = [PeriodicPhase.NORMAL, PeriodicPhase.ACQUIRE, PeriodicPhase.RELEASE]
+        leaving = self._phase
+        if leaving is PeriodicPhase.RELEASE and self.full_release and self._cycle_acquired_mb > 0:
+            freed = self.server.heap.release_retained(self._cycle_acquired_mb)
+            self.total_released_mb += freed
+            self._cycle_acquired_mb = 0.0
+        next_index = (order.index(self._phase) + 1) % len(order)
+        self._phase = order[next_index]
+        self._phase_started_at = time_seconds
+        self._requests_until_event = self._draw_threshold()
+        self.phase_history.append((time_seconds, self._phase))
+
+    def on_tick(self, time_seconds: float) -> None:
+        """Rotate to the next phase once the current one has run its course."""
+        if time_seconds - self._phase_started_at >= self.phase_duration_s:
+            self._advance_phase(time_seconds)
+
+    # ------------------------------------------------------------ injections
+
+    def _on_servlet_invocation(self, servlet: "Servlet") -> None:
+        if self._phase is PeriodicPhase.NORMAL:
+            return
+        self._requests_until_event -= 1
+        if self._requests_until_event > 0:
+            return
+        if self._phase is PeriodicPhase.ACQUIRE:
+            self.server.heap.allocate_retained(self.block_mb)
+            self._cycle_acquired_mb += self.block_mb
+            self.total_acquired_mb += self.block_mb
+        else:  # RELEASE
+            if self._cycle_acquired_mb > 0:
+                freed = self.server.heap.release_retained(min(self.block_mb, self._cycle_acquired_mb))
+                self._cycle_acquired_mb -= freed
+                self.total_released_mb += freed
+        self._requests_until_event = self._draw_threshold()
+
+    def describe(self) -> str:
+        mode = "benign (full release)" if self.full_release else "aging (partial release)"
+        return (
+            f"PeriodicPatternInjector({mode}, acquire N={self.acquire_n}, "
+            f"release N={self.release_n}, phase={self.phase_duration_s:.0f}s)"
+        )

@@ -1,0 +1,6 @@
+"""Generational JVM heap model (Young / Old / Permanent zones and GC)."""
+
+from repro.testbed.jvm.gc import GarbageCollector, GCEvent
+from repro.testbed.jvm.heap import GenerationalHeap, HeapSnapshot
+
+__all__ = ["GarbageCollector", "GCEvent", "GenerationalHeap", "HeapSnapshot"]

@@ -1,0 +1,79 @@
+"""Garbage-collection bookkeeping for the simulated JVM heap.
+
+The heap itself decides *when* a collection happens; this module records
+*what* happened so tests, figures and the root-cause analysis can reason about
+the collector's behaviour (the paper's Figure 1 annotates "GC resizes action
+and release memory" events explicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GCEvent", "GarbageCollector"]
+
+
+@dataclass(frozen=True)
+class GCEvent:
+    """One garbage-collection or resize event.
+
+    Attributes
+    ----------
+    time_seconds:
+        Simulation time at which the event happened.
+    kind:
+        ``"minor"`` (Young collection), ``"full"`` (Old collection) or
+        ``"resize"`` (Old zone grown by the heap management system).
+    reclaimed_mb:
+        Megabytes freed by the collection (0 for pure resizes).
+    old_committed_mb:
+        Committed size of the Old zone right after the event.
+    """
+
+    time_seconds: float
+    kind: str
+    reclaimed_mb: float
+    old_committed_mb: float
+
+
+@dataclass
+class GarbageCollector:
+    """Accumulates GC statistics for one heap instance."""
+
+    events: list[GCEvent] = field(default_factory=list)
+
+    def record(self, time_seconds: float, kind: str, reclaimed_mb: float, old_committed_mb: float) -> None:
+        """Append one event to the log."""
+        if kind not in ("minor", "full", "resize"):
+            raise ValueError(f"unknown GC event kind: {kind!r}")
+        self.events.append(
+            GCEvent(
+                time_seconds=float(time_seconds),
+                kind=kind,
+                reclaimed_mb=float(reclaimed_mb),
+                old_committed_mb=float(old_committed_mb),
+            )
+        )
+
+    @property
+    def minor_collections(self) -> int:
+        return sum(1 for event in self.events if event.kind == "minor")
+
+    @property
+    def full_collections(self) -> int:
+        return sum(1 for event in self.events if event.kind == "full")
+
+    @property
+    def resizes(self) -> int:
+        return sum(1 for event in self.events if event.kind == "resize")
+
+    @property
+    def total_reclaimed_mb(self) -> float:
+        return sum(event.reclaimed_mb for event in self.events)
+
+    def resize_times(self) -> list[float]:
+        """Times at which the Old zone was resized (Figure 1 annotations)."""
+        return [event.time_seconds for event in self.events if event.kind == "resize"]
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,259 @@
+"""Generational Java heap with Old-zone resizing and crash-on-exhaustion.
+
+The model follows the description the paper gives in its first motivating
+example (Section 2.1.1):
+
+* objects are created in the **Young** zone; when it fills up, a *minor GC*
+  collects it, promoting the surviving fraction to the **Old** zone;
+* the **Old** zone starts at a fraction of the maximum heap.  When it fills,
+  the heap management system runs a *full GC* (reclaiming promoted garbage)
+  and, if still needed, **resizes** the Old zone by a fixed step -- this is
+  what produces the "flat zones" in the OS-level memory signal and the extra
+  minutes of life the naive predictor misses;
+* the **Permanent** zone is constant throughout an experiment;
+* when the Old zone is at its maximum size and a full GC cannot make room,
+  the allocation fails with :class:`repro.testbed.errors.OutOfMemoryError`.
+
+Three classes of Old-zone content are tracked separately because they age
+differently:
+
+``leaked``      injected leaks -- live forever, the aging signal itself;
+``retained``    the releasable pool used by the periodic-pattern injector
+                (Experiment 4.3): can be freed on request;
+``floating``    promoted transient garbage -- reclaimed by full GCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.testbed.errors import OutOfMemoryError
+from repro.testbed.jvm.gc import GarbageCollector
+
+__all__ = ["GenerationalHeap", "HeapSnapshot"]
+
+
+@dataclass(frozen=True)
+class HeapSnapshot:
+    """Read-only view of the heap used by the monitoring subsystem."""
+
+    young_used_mb: float
+    young_capacity_mb: float
+    old_used_mb: float
+    old_committed_mb: float
+    old_max_mb: float
+    perm_used_mb: float
+    committed_mb: float
+
+    @property
+    def young_used_fraction(self) -> float:
+        return self.young_used_mb / self.young_capacity_mb if self.young_capacity_mb else 0.0
+
+    @property
+    def old_used_fraction(self) -> float:
+        return self.old_used_mb / self.old_max_mb if self.old_max_mb else 0.0
+
+    @property
+    def live_mb(self) -> float:
+        """Young + Old occupancy (the grey JVM-perspective line of Figure 2)."""
+        return self.young_used_mb + self.old_used_mb
+
+
+class GenerationalHeap:
+    """Simulated generational heap of the Tomcat JVM.
+
+    Parameters
+    ----------
+    young_capacity_mb / old_initial_mb / old_max_mb / perm_mb:
+        Zone geometry (see :class:`repro.testbed.config.TestbedConfig`).
+    old_resize_step_mb:
+        Increment applied to the Old zone's committed size on each resize.
+    promotion_fraction:
+        Fraction of Young occupancy promoted to Old at each minor GC.
+    full_gc_release_fraction:
+        Fraction of the floating (promoted) garbage a full GC reclaims.
+    collector:
+        Optional shared :class:`GarbageCollector`; a private one is created
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        young_capacity_mb: float,
+        old_initial_mb: float,
+        old_max_mb: float,
+        perm_mb: float,
+        old_resize_step_mb: float,
+        promotion_fraction: float = 0.02,
+        full_gc_release_fraction: float = 0.85,
+        collector: GarbageCollector | None = None,
+    ) -> None:
+        if young_capacity_mb <= 0 or old_initial_mb <= 0 or old_max_mb <= 0:
+            raise ValueError("heap zone sizes must be positive")
+        if old_initial_mb > old_max_mb:
+            raise ValueError("old_initial_mb cannot exceed old_max_mb")
+        if old_resize_step_mb <= 0:
+            raise ValueError("old_resize_step_mb must be positive")
+        if not 0.0 <= promotion_fraction <= 1.0:
+            raise ValueError("promotion_fraction must be in [0, 1]")
+        if not 0.0 <= full_gc_release_fraction <= 1.0:
+            raise ValueError("full_gc_release_fraction must be in [0, 1]")
+        self.young_capacity_mb = float(young_capacity_mb)
+        self.old_max_mb = float(old_max_mb)
+        self.perm_used_mb = float(perm_mb)
+        self.old_resize_step_mb = float(old_resize_step_mb)
+        self.promotion_fraction = float(promotion_fraction)
+        self.full_gc_release_fraction = float(full_gc_release_fraction)
+        self.collector = collector if collector is not None else GarbageCollector()
+
+        self._young_used = 0.0
+        self._old_committed = float(old_initial_mb)
+        self._old_leaked = 0.0
+        self._old_retained = 0.0
+        self._old_floating = 0.0
+        self._now = 0.0
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def young_used_mb(self) -> float:
+        return self._young_used
+
+    @property
+    def old_used_mb(self) -> float:
+        return self._old_leaked + self._old_retained + self._old_floating
+
+    @property
+    def old_committed_mb(self) -> float:
+        return self._old_committed
+
+    @property
+    def leaked_mb(self) -> float:
+        """Megabytes of injected, never-collectable leak currently held."""
+        return self._old_leaked
+
+    @property
+    def retained_mb(self) -> float:
+        """Megabytes held by the releasable (periodic-pattern) pool."""
+        return self._old_retained
+
+    @property
+    def committed_mb(self) -> float:
+        """Heap memory committed from the OS point of view."""
+        return self.young_capacity_mb + self._old_committed + self.perm_used_mb
+
+    @property
+    def headroom_mb(self) -> float:
+        """Old-zone megabytes still obtainable before an OutOfMemoryError."""
+        return self.old_max_mb - self.old_used_mb
+
+    def snapshot(self) -> HeapSnapshot:
+        """Capture the current occupancy for the monitoring collector."""
+        return HeapSnapshot(
+            young_used_mb=self._young_used,
+            young_capacity_mb=self.young_capacity_mb,
+            old_used_mb=self.old_used_mb,
+            old_committed_mb=self._old_committed,
+            old_max_mb=self.old_max_mb,
+            perm_used_mb=self.perm_used_mb,
+            committed_mb=self.committed_mb,
+        )
+
+    # ---------------------------------------------------------------- clock
+
+    def set_time(self, time_seconds: float) -> None:
+        """Inform the heap of the current simulation time (for GC events)."""
+        self._now = float(time_seconds)
+
+    # ---------------------------------------------------------- allocations
+
+    def allocate_transient(self, megabytes: float) -> None:
+        """Allocate short-lived request objects in the Young zone."""
+        if megabytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        remaining = megabytes
+        while remaining > 0:
+            space = self.young_capacity_mb - self._young_used
+            if space <= 0:
+                self._minor_gc()
+                continue
+            chunk = min(space, remaining)
+            self._young_used += chunk
+            remaining -= chunk
+            if self._young_used >= self.young_capacity_mb:
+                self._minor_gc()
+
+    def allocate_leak(self, megabytes: float) -> None:
+        """Allocate injected leak bytes that will never be collected."""
+        if megabytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        self._ensure_old_capacity(megabytes)
+        self._old_leaked += megabytes
+
+    def allocate_retained(self, megabytes: float) -> None:
+        """Allocate releasable bytes (the periodic acquire/release pattern)."""
+        if megabytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        self._ensure_old_capacity(megabytes)
+        self._old_retained += megabytes
+
+    def release_retained(self, megabytes: float | None = None) -> float:
+        """Free bytes from the releasable pool and return how much was freed.
+
+        ``None`` releases the whole pool.  Freed memory stays committed from
+        the OS perspective -- exactly the Figure 2 duality.
+        """
+        if megabytes is None:
+            freed = self._old_retained
+            self._old_retained = 0.0
+            return freed
+        if megabytes < 0:
+            raise ValueError("release size must be non-negative")
+        freed = min(megabytes, self._old_retained)
+        self._old_retained -= freed
+        return freed
+
+    # -------------------------------------------------------------- internals
+
+    def _minor_gc(self) -> None:
+        """Collect the Young zone, promoting a fraction of it to Old."""
+        promoted = self._young_used * self.promotion_fraction
+        reclaimed = self._young_used - promoted
+        self._young_used = 0.0
+        if promoted > 0:
+            self._ensure_old_capacity(promoted)
+            self._old_floating += promoted
+        self.collector.record(self._now, "minor", reclaimed, self._old_committed)
+
+    def _full_gc(self) -> float:
+        """Collect the Old zone's floating garbage; return reclaimed MB."""
+        reclaimed = self._old_floating * self.full_gc_release_fraction
+        self._old_floating -= reclaimed
+        self.collector.record(self._now, "full", reclaimed, self._old_committed)
+        return reclaimed
+
+    def _resize_old(self) -> bool:
+        """Grow the committed Old zone by one step; return False at the max."""
+        if self._old_committed >= self.old_max_mb:
+            return False
+        self._old_committed = min(self.old_max_mb, self._old_committed + self.old_resize_step_mb)
+        self.collector.record(self._now, "resize", 0.0, self._old_committed)
+        return True
+
+    def _ensure_old_capacity(self, extra_mb: float) -> None:
+        """Make room for ``extra_mb`` in the Old zone or crash trying.
+
+        Mirrors the HotSpot behaviour the paper describes: first a full GC,
+        then committed-size growth, and an ``OutOfMemoryError`` only when the
+        zone is at its maximum and still cannot host the allocation.
+        """
+        while self.old_used_mb + extra_mb > self._old_committed:
+            self._full_gc()
+            if self.old_used_mb + extra_mb <= self._old_committed:
+                break
+            if not self._resize_old():
+                raise OutOfMemoryError(
+                    "Java heap space: Old generation exhausted "
+                    f"({self.old_used_mb:.1f} MB used + {extra_mb:.2f} MB requested "
+                    f"> {self.old_max_mb:.1f} MB maximum)"
+                )

@@ -1,0 +1,6 @@
+"""Monitoring subsystem: raw-metric samples and whole-run traces."""
+
+from repro.testbed.monitoring.collector import MetricsCollector, MonitoringSample, Trace
+from repro.testbed.monitoring.metrics_catalog import RAW_METRICS, RawMetric
+
+__all__ = ["MetricsCollector", "MonitoringSample", "RAW_METRICS", "RawMetric", "Trace"]

@@ -1,0 +1,186 @@
+"""Metric collection: periodic samples and whole-run traces.
+
+The paper's analysis subsystem samples the testbed every 15 seconds (each
+sample is one of the "marks" mentioned when sizing the sliding window) and an
+experiment run produces one *trace*: the ordered samples plus the crash
+information needed to label every sample with its true time to failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.testbed.appserver.tomcat import TomcatServer
+from repro.testbed.database.mysql import MySQLServer
+from repro.testbed.osmodel.system import OperatingSystem
+
+__all__ = ["MonitoringSample", "MetricsCollector", "Trace"]
+
+
+@dataclass(frozen=True)
+class MonitoringSample:
+    """One 15-second monitoring mark with every raw Table 2 variable."""
+
+    time_seconds: float
+    throughput_rps: float
+    workload_ebs: int
+    response_time_s: float
+    system_load: float
+    disk_used_mb: float
+    swap_free_mb: float
+    num_processes: int
+    system_memory_used_mb: float
+    tomcat_memory_used_mb: float
+    num_threads: int
+    http_connections: int
+    mysql_connections: int
+    young_max_mb: float
+    old_max_mb: float
+    young_used_mb: float
+    old_used_mb: float
+    young_used_pct: float
+    old_used_pct: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the sample as a plain name-to-value mapping."""
+        return {
+            "time_seconds": self.time_seconds,
+            "throughput_rps": self.throughput_rps,
+            "workload_ebs": float(self.workload_ebs),
+            "response_time_s": self.response_time_s,
+            "system_load": self.system_load,
+            "disk_used_mb": self.disk_used_mb,
+            "swap_free_mb": self.swap_free_mb,
+            "num_processes": float(self.num_processes),
+            "system_memory_used_mb": self.system_memory_used_mb,
+            "tomcat_memory_used_mb": self.tomcat_memory_used_mb,
+            "num_threads": float(self.num_threads),
+            "http_connections": float(self.http_connections),
+            "mysql_connections": float(self.mysql_connections),
+            "young_max_mb": self.young_max_mb,
+            "old_max_mb": self.old_max_mb,
+            "young_used_mb": self.young_used_mb,
+            "old_used_mb": self.old_used_mb,
+            "young_used_pct": self.young_used_pct,
+            "old_used_pct": self.old_used_pct,
+        }
+
+
+@dataclass
+class Trace:
+    """The result of one experiment run.
+
+    Attributes
+    ----------
+    samples:
+        Monitoring samples in time order.
+    crashed:
+        Whether the run ended with a server crash (memory or threads) rather
+        than reaching its time limit.
+    crash_time_seconds:
+        Simulation time of the crash; ``None`` for runs that did not crash.
+    crash_resource:
+        ``"memory"`` or ``"threads"`` for crashed runs.
+    workload_ebs:
+        Number of emulated browsers of the run.
+    metadata:
+        Free-form description of the scenario (injection parameters, phases).
+    """
+
+    samples: list[MonitoringSample] = field(default_factory=list)
+    crashed: bool = False
+    crash_time_seconds: float | None = None
+    crash_resource: str | None = None
+    workload_ebs: int = 0
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[MonitoringSample]:
+        return iter(self.samples)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Time of the last sample (0 for an empty trace)."""
+        return self.samples[-1].time_seconds if self.samples else 0.0
+
+    def times(self) -> np.ndarray:
+        """Sample timestamps as an array."""
+        return np.array([sample.time_seconds for sample in self.samples])
+
+    def series(self, attribute: str) -> np.ndarray:
+        """Extract one raw metric as a numpy series (by attribute name)."""
+        if not self.samples:
+            return np.zeros(0)
+        if not hasattr(self.samples[0], attribute):
+            raise AttributeError(f"MonitoringSample has no metric named {attribute!r}")
+        return np.array([float(getattr(sample, attribute)) for sample in self.samples])
+
+    def time_to_failure(self) -> np.ndarray:
+        """True time to failure (seconds) for every sample.
+
+        Raises ``ValueError`` for traces that did not crash; non-crashing
+        training runs are labelled by the dataset builder with the "infinite"
+        horizon convention instead (Section 4.2 trains the no-injection run
+        to mean "3 hours to failure").
+        """
+        if not self.crashed or self.crash_time_seconds is None:
+            raise ValueError("this trace did not crash; it has no true time to failure")
+        return self.crash_time_seconds - self.times()
+
+
+class MetricsCollector:
+    """Builds :class:`MonitoringSample` objects from the live components."""
+
+    def __init__(self, interval_seconds: float = 15.0) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.interval_seconds = float(interval_seconds)
+        self._last_sample_time = 0.0
+
+    def due(self, time_seconds: float) -> bool:
+        """Whether a sample should be taken at ``time_seconds``."""
+        return time_seconds - self._last_sample_time >= self.interval_seconds
+
+    def collect(
+        self,
+        time_seconds: float,
+        server: TomcatServer,
+        operating_system: OperatingSystem,
+        database: MySQLServer,
+        workload_ebs: int,
+    ) -> MonitoringSample:
+        """Take one sample and reset the per-interval counters."""
+        interval = max(time_seconds - self._last_sample_time, 1e-9)
+        requests, response_time_total, _queued = server.drain_sample_counters()
+        throughput = requests / interval
+        response_time = response_time_total / requests if requests else 0.0
+        heap = server.heap.snapshot()
+        total_threads = server.thread_pool.total_threads
+        sample = MonitoringSample(
+            time_seconds=time_seconds,
+            throughput_rps=throughput,
+            workload_ebs=workload_ebs,
+            response_time_s=response_time,
+            system_load=operating_system.load_average,
+            disk_used_mb=operating_system.disk_used_mb,
+            swap_free_mb=operating_system.swap_free_mb,
+            num_processes=operating_system.num_processes(total_threads),
+            system_memory_used_mb=operating_system.system_memory_used_mb,
+            tomcat_memory_used_mb=operating_system.tomcat_memory_used_mb,
+            num_threads=total_threads,
+            http_connections=server.http_connections,
+            mysql_connections=database.active_connections,
+            young_max_mb=heap.young_capacity_mb,
+            old_max_mb=heap.old_max_mb,
+            young_used_mb=heap.young_used_mb,
+            old_used_mb=heap.old_used_mb,
+            young_used_pct=100.0 * heap.young_used_fraction,
+            old_used_pct=100.0 * heap.old_used_fraction,
+        )
+        self._last_sample_time = time_seconds
+        return sample

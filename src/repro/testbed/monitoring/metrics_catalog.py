@@ -1,0 +1,48 @@
+"""Catalogue of the raw monitoring variables (upper half of Table 2).
+
+Table 2 of the paper lists every variable used to build the models.  The raw
+(directly measured) variables are defined here, with the attribute of
+:class:`repro.testbed.monitoring.collector.MonitoringSample` that carries each
+one; the *derived* variables (sliding-window averages, consumption speeds and
+their ratios) are computed later by :mod:`repro.core.features`, because they
+are part of the prediction method rather than of the monitored system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RawMetric", "RAW_METRICS"]
+
+
+@dataclass(frozen=True)
+class RawMetric:
+    """Description of one directly measured variable."""
+
+    name: str
+    attribute: str
+    unit: str
+    description: str
+
+
+#: Raw variables of Table 2, in the paper's order.
+RAW_METRICS: tuple[RawMetric, ...] = (
+    RawMetric("Throughput(TH)", "throughput_rps", "requests/s", "Requests completed per second since the previous sample"),
+    RawMetric("Workload", "workload_ebs", "EBs", "Number of concurrent emulated browsers"),
+    RawMetric("Response Time", "response_time_s", "s", "Mean response time of the requests completed since the previous sample"),
+    RawMetric("System Load", "system_load", "runnable threads/core", "One-minute load average of the application-server host"),
+    RawMetric("Disk Used", "disk_used_mb", "MB", "Disk space used on the application-server host"),
+    RawMetric("Swap Free", "swap_free_mb", "MB", "Free swap space"),
+    RawMetric("Num. Processes", "num_processes", "processes", "Processes (including Java light-weight processes) on the host"),
+    RawMetric("Sys. Memory Used", "system_memory_used_mb", "MB", "Used physical memory of the host"),
+    RawMetric("Tomcat Memory Used", "tomcat_memory_used_mb", "MB", "Resident memory of the Tomcat process (OS perspective)"),
+    RawMetric("Num. Threads", "num_threads", "threads", "Threads alive in the Tomcat JVM"),
+    RawMetric("Num. Http Connections", "http_connections", "connections", "Open HTTP connections"),
+    RawMetric("Num. Mysql Connections", "mysql_connections", "connections", "Open JDBC connections to MySQL"),
+    RawMetric("Max. MB Young", "young_max_mb", "MB", "Capacity of the Young heap zone"),
+    RawMetric("Max. MB Old", "old_max_mb", "MB", "Maximum size of the Old heap zone"),
+    RawMetric("MB Young Used", "young_used_mb", "MB", "Occupancy of the Young heap zone (JVM perspective)"),
+    RawMetric("MB Old Used", "old_used_mb", "MB", "Occupancy of the Old heap zone (JVM perspective)"),
+    RawMetric("% Used Young", "young_used_pct", "%", "Young occupancy as a percentage of its capacity"),
+    RawMetric("% Used Old", "old_used_pct", "%", "Old occupancy as a percentage of its maximum size"),
+)

@@ -1,0 +1,5 @@
+"""Operating-system level view of the application-server machine."""
+
+from repro.testbed.osmodel.system import OperatingSystem
+
+__all__ = ["OperatingSystem"]

@@ -1,0 +1,113 @@
+"""Linux-like OS view of the application server machine.
+
+This model exists to reproduce the *monitoring duality* of the paper's second
+motivating example (Figure 2): "In a Linux system, when an application frees
+up some memory, the system does not recover this memory automatically".  The
+OS therefore reports a Tomcat memory footprint that only ever grows towards
+the peak, even while the JVM heap is internally releasing memory -- which is
+why monitoring only at the OS level can hide (or distort) software aging.
+
+Beyond that duality the model supplies the remaining Table 2 system-level
+variables: load average, swap, disk usage and process count.
+"""
+
+from __future__ import annotations
+
+from repro.testbed.config import TestbedConfig
+
+__all__ = ["OperatingSystem"]
+
+
+class OperatingSystem:
+    """System-level resource accounting of the app-server host."""
+
+    def __init__(self, config: TestbedConfig) -> None:
+        self.config = config
+        #: Peak (and therefore reported) resident size of the Tomcat process.
+        self._tomcat_rss_mb = 0.0
+        self._load_average = 0.0
+        self._disk_used_mb = config.disk_base_used_mb
+        #: Baseline daemons plus kernel threads on an idle machine.
+        self._base_processes = 92
+
+    # --------------------------------------------------------------- updates
+
+    def update(
+        self,
+        seconds: float,
+        tomcat_footprint_mb: float,
+        busy_threads: int,
+        requests_completed: int = 0,
+    ) -> None:
+        """Advance the OS model by ``seconds``.
+
+        Parameters
+        ----------
+        seconds:
+            Tick length.
+        tomcat_footprint_mb:
+            Current true footprint of the Tomcat process (committed heap,
+            stacks, JVM overhead).  The reported RSS is the running maximum
+            of this value -- Linux keeps freed pages mapped to the process.
+        busy_threads:
+            Threads actively running; drives the load average through an
+            exponential moving average like the kernel's 1-minute load.
+        requests_completed:
+            Requests served during the tick; each one appends access-log
+            lines, so disk usage grows with the served traffic (not with
+            wall-clock time).
+        """
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        if requests_completed < 0:
+            raise ValueError("requests_completed must be non-negative")
+        self._tomcat_rss_mb = max(self._tomcat_rss_mb, tomcat_footprint_mb)
+        instantaneous_load = busy_threads / self.config.cpu_cores
+        decay = min(seconds / 60.0, 1.0)
+        self._load_average += (instantaneous_load - self._load_average) * decay
+        self._disk_used_mb = min(
+            self._disk_used_mb + self.config.log_mb_per_request * requests_completed,
+            self.config.disk_capacity_mb,
+        )
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def tomcat_memory_used_mb(self) -> float:
+        """Tomcat memory from the OS perspective (the dark line of Figure 2)."""
+        return self._tomcat_rss_mb
+
+    @property
+    def system_memory_used_mb(self) -> float:
+        """Total used system memory: OS baseline, MySQL-client share and Tomcat."""
+        used = self.config.os_base_memory_mb + self._tomcat_rss_mb
+        return min(used, self.config.system_memory_mb + self.swap_used_mb)
+
+    @property
+    def swap_used_mb(self) -> float:
+        """Swap consumed once physical memory is oversubscribed."""
+        raw = self.config.os_base_memory_mb + self._tomcat_rss_mb
+        overflow = raw - self.config.system_memory_mb
+        return min(max(overflow, 0.0), self.config.swap_mb)
+
+    @property
+    def swap_free_mb(self) -> float:
+        return self.config.swap_mb - self.swap_used_mb
+
+    @property
+    def load_average(self) -> float:
+        return self._load_average
+
+    @property
+    def disk_used_mb(self) -> float:
+        return self._disk_used_mb
+
+    def num_processes(self, total_threads: int) -> int:
+        """Processes reported by the OS: baseline daemons plus Java threads.
+
+        Linux 2.6 exposes every Java thread as a light-weight process, so the
+        thread-leak experiments are visible in this metric too.
+        """
+        if total_threads < 0:
+            raise ValueError("total_threads must be non-negative")
+        return self._base_processes + total_threads

@@ -1,0 +1,18 @@
+"""TPC-W workload model: web interactions, emulated browsers and mixes."""
+
+from repro.testbed.tpcw.browser import EmulatedBrowser
+from repro.testbed.tpcw.interactions import (
+    INTERACTIONS,
+    Interaction,
+    interaction_by_name,
+)
+from repro.testbed.tpcw.workload import WorkloadGenerator, WorkloadMix
+
+__all__ = [
+    "EmulatedBrowser",
+    "INTERACTIONS",
+    "Interaction",
+    "WorkloadGenerator",
+    "WorkloadMix",
+    "interaction_by_name",
+]

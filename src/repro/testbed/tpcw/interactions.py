@@ -1,0 +1,86 @@
+"""The fourteen TPC-W web interactions and their per-mix weights.
+
+TPC-W models an online bookstore with fourteen web interactions (home page,
+searches, product detail, shopping cart, buy flow, order inquiry and the
+administrative pages).  The benchmark defines three workload mixes --
+*Browsing*, *Shopping* and *Ordering* -- that differ in how often each
+interaction is requested.  The paper runs every experiment with the
+**shopping** mix and injects its memory leak from the *search request*
+servlet, so the relative frequency of ``search_request`` is what couples leak
+injection to the workload intensity.
+
+The weights below follow the relative interaction frequencies of the TPC-W
+specification (normalised per mix).  They do not need to be exact to the
+fourth decimal for the reproduction: what matters is that the search servlet
+receives a workload-proportional share of requests (roughly one in five under
+the shopping mix) and that heavier pages cost more CPU and database time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Interaction", "INTERACTIONS", "interaction_by_name"]
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One TPC-W web interaction.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the servlet that implements the interaction.
+    browsing_weight / shopping_weight / ordering_weight:
+        Relative frequency of the interaction under each TPC-W mix.
+    service_demand_factor:
+        CPU cost relative to the cheapest interaction; multiplies the
+        configured base service time.
+    db_queries:
+        Number of database round trips the interaction performs.
+    memory_factor:
+        Transient Young-generation allocation relative to the configured
+        per-request allocation.
+    """
+
+    name: str
+    browsing_weight: float
+    shopping_weight: float
+    ordering_weight: float
+    service_demand_factor: float
+    db_queries: int
+    memory_factor: float
+
+
+#: The fourteen TPC-W interactions with per-mix weights (percent).
+INTERACTIONS: tuple[Interaction, ...] = (
+    Interaction("home", 29.00, 16.00, 9.12, 1.0, 1, 1.0),
+    Interaction("new_products", 11.00, 5.00, 0.46, 1.4, 2, 1.2),
+    Interaction("best_sellers", 11.00, 5.00, 0.46, 1.6, 2, 1.2),
+    Interaction("product_detail", 21.00, 17.00, 12.35, 1.2, 1, 1.1),
+    Interaction("search_request", 12.00, 20.00, 14.53, 1.1, 0, 1.0),
+    Interaction("search_results", 11.00, 17.00, 13.08, 1.5, 2, 1.3),
+    Interaction("shopping_cart", 2.00, 11.60, 13.53, 1.3, 2, 1.2),
+    Interaction("customer_registration", 0.82, 3.00, 12.86, 1.0, 1, 1.0),
+    Interaction("buy_request", 0.75, 2.60, 12.73, 1.4, 2, 1.2),
+    Interaction("buy_confirm", 0.69, 1.20, 10.18, 1.8, 3, 1.4),
+    Interaction("order_inquiry", 0.30, 0.75, 0.25, 1.0, 1, 1.0),
+    Interaction("order_display", 0.25, 0.66, 0.22, 1.3, 2, 1.1),
+    Interaction("admin_request", 0.10, 0.10, 0.12, 1.2, 1, 1.0),
+    Interaction("admin_confirm", 0.09, 0.09, 0.11, 1.6, 2, 1.2),
+)
+
+_BY_NAME = {interaction.name: interaction for interaction in INTERACTIONS}
+
+
+def interaction_by_name(name: str) -> Interaction:
+    """Look an interaction up by servlet name.
+
+    Raises ``KeyError`` with the list of valid names when the name is
+    unknown, which catches typos in experiment definitions early.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        valid = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown TPC-W interaction {name!r}; valid names: {valid}") from None

@@ -1,0 +1,173 @@
+"""Tests for the sliding-window derived variables (Table 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import (
+    DEFAULT_WINDOW,
+    FeatureCatalog,
+    consumption_speed,
+    safe_inverse,
+    sliding_window_average,
+)
+from repro.testbed.monitoring.collector import Trace
+
+
+class TestSlidingWindowAverage:
+    def test_constant_series_unchanged(self):
+        assert np.allclose(sliding_window_average([5.0] * 10, 3), 5.0)
+
+    def test_window_of_one_is_identity(self):
+        values = [1.0, 7.0, 3.0]
+        assert np.allclose(sliding_window_average(values, 1), values)
+
+    def test_known_values(self):
+        result = sliding_window_average([1.0, 2.0, 3.0, 4.0], 2)
+        assert np.allclose(result, [1.0, 1.5, 2.5, 3.5])
+
+    def test_prefix_uses_available_history_only(self):
+        result = sliding_window_average([10.0, 20.0, 30.0], 10)
+        assert np.allclose(result, [10.0, 15.0, 20.0])
+
+    def test_empty_series(self):
+        assert sliding_window_average([], 3).shape == (0,)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            sliding_window_average([1.0], 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            sliding_window_average(np.zeros((2, 2)), 2)
+
+    def test_smoothing_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        noisy = rng.normal(0, 1, 500)
+        smoothed = sliding_window_average(noisy, 12)
+        assert np.var(smoothed) < np.var(noisy)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_output_within_input_range(self, values, window):
+        result = sliding_window_average(values, window)
+        assert result.min() >= min(values) - 1e-6
+        assert result.max() <= max(values) + 1e-6
+
+
+class TestConsumptionSpeed:
+    def test_linear_growth_gives_constant_speed(self):
+        times = np.arange(0, 300, 15, dtype=float)
+        values = 2.0 * times
+        speed = consumption_speed(times, values, window=4)
+        # The first mark has no predecessor (speed 0) and the sliding window
+        # needs a few marks to fill; after that the speed is exactly 2 MB/s.
+        assert speed[0] == 0.0
+        assert np.all(np.diff(speed[:4]) > 0)
+        assert np.allclose(speed[4:], 2.0)
+
+    def test_flat_series_gives_zero_speed(self):
+        times = np.arange(0, 150, 15, dtype=float)
+        speed = consumption_speed(times, np.full_like(times, 100.0), window=4)
+        assert np.allclose(speed, 0.0)
+
+    def test_release_gives_negative_speed(self):
+        times = np.arange(0, 150, 15, dtype=float)
+        values = 1000.0 - 3.0 * times
+        speed = consumption_speed(times, values, window=2)
+        assert np.all(speed[1:] < 0)
+
+    def test_window_delays_reaction_to_rate_change(self):
+        times = np.arange(0, 1500, 15, dtype=float)
+        values = np.where(times < 750, 1.0 * times, 750.0 + 5.0 * (times - 750))
+        short = consumption_speed(times, values, window=2)
+        long = consumption_speed(times, values, window=12)
+        change_index = int(np.argmax(times >= 750)) + 2
+        # Just after the change the short window has almost caught up with the
+        # new 5 MB/s rate while the long window is still mid-transition.
+        assert short[change_index] > long[change_index]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            consumption_speed([1.0, 2.0], [1.0], window=2)
+
+    def test_rejects_nonincreasing_times(self):
+        with pytest.raises(ValueError):
+            consumption_speed([0.0, 0.0], [1.0, 2.0], window=2)
+
+    def test_empty(self):
+        assert consumption_speed([], [], window=3).shape == (0,)
+
+
+class TestSafeInverse:
+    def test_normal_values(self):
+        assert np.allclose(safe_inverse([2.0, 4.0]), [0.5, 0.25])
+
+    def test_zero_clamped_to_large_finite(self):
+        result = safe_inverse([0.0])
+        assert np.isfinite(result[0])
+        assert result[0] > 1e5
+
+    def test_sign_preserved_for_small_negative(self):
+        assert safe_inverse([-1e-9])[0] < 0
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_always_finite(self, values):
+        assert np.all(np.isfinite(safe_inverse(values)))
+
+
+class TestFeatureCatalog:
+    def test_catalogue_contains_raw_and_derived_variables(self):
+        catalog = FeatureCatalog()
+        names = catalog.feature_names
+        assert "tomcat_memory_used_mb" in names
+        assert "swa_speed[old_used_mb]" in names
+        assert "inv_swa_speed[num_threads]" in names
+        assert "swa[response_time_s]" in names
+        assert len(names) == len(set(names)), "feature names must be unique"
+        # 18 raw + 5 speed resources x 6 derived forms + 4 plain SWAs.
+        assert len(names) == 18 + 5 * 6 + 4
+
+    def test_tags_enable_heap_selection(self):
+        catalog = FeatureCatalog()
+        tags = catalog.feature_tags
+        assert "heap" in tags["old_used_mb"]
+        assert "heap" in tags["swa_speed[young_used_mb]"]
+        assert "heap" not in tags["num_threads"]
+
+    def test_compute_on_trace(self, training_traces):
+        catalog = FeatureCatalog()
+        matrix, names = catalog.compute(training_traces[0])
+        assert matrix.shape == (len(training_traces[0]), len(names))
+        assert np.all(np.isfinite(matrix))
+
+    def test_raw_only_and_derived_only(self, training_traces):
+        raw_only = FeatureCatalog(include_derived=False)
+        derived_only = FeatureCatalog(include_raw=False)
+        assert len(raw_only) == 18
+        assert len(derived_only) == 5 * 6 + 4
+        matrix, _ = raw_only.compute(training_traces[0])
+        assert matrix.shape[1] == 18
+
+    def test_window_changes_derived_values(self, training_traces):
+        trace = training_traces[0]
+        short, names = FeatureCatalog(window=2).compute(trace)
+        long, _ = FeatureCatalog(window=24).compute(trace)
+        column = names.index("swa_speed[old_used_mb]")
+        assert not np.allclose(short[:, column], long[:, column])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureCatalog().compute(Trace())
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FeatureCatalog(window=0)
+        with pytest.raises(ValueError):
+            FeatureCatalog(include_raw=False, include_derived=False)
+
+    def test_default_window_matches_paper(self):
+        assert DEFAULT_WINDOW == 12

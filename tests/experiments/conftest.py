@@ -1,0 +1,39 @@
+"""Shared fixtures for the experiment-driver tests.
+
+Experiment results are expensive to produce (each one simulates several runs
+of the testbed and trains two models), so they are generated once per test
+session on the fast, scaled-down scenario configuration.
+"""
+
+import pytest
+
+from repro.experiments.exp41 import run_experiment_41
+from repro.experiments.exp42 import run_experiment_42
+from repro.experiments.exp43 import run_experiment_43
+from repro.experiments.exp44 import run_experiment_44
+from repro.experiments.scenarios import ExperimentScenarios
+
+
+@pytest.fixture(scope="session")
+def fast_scenarios() -> ExperimentScenarios:
+    return ExperimentScenarios.fast(seed=7)
+
+
+@pytest.fixture(scope="session")
+def exp41_result(fast_scenarios):
+    return run_experiment_41(fast_scenarios)
+
+
+@pytest.fixture(scope="session")
+def exp42_result(fast_scenarios):
+    return run_experiment_42(fast_scenarios)
+
+
+@pytest.fixture(scope="session")
+def exp43_result(fast_scenarios):
+    return run_experiment_43(fast_scenarios)
+
+
+@pytest.fixture(scope="session")
+def exp44_result(fast_scenarios):
+    return run_experiment_44(fast_scenarios)

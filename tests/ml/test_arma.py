@@ -1,0 +1,131 @@
+"""Tests for the AR / ARMA time-series baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.arma import ARMAModel, ARModel, _lag_matrix
+
+
+def linear_ramp(length=200, slope=2.0, start=10.0):
+    return start + slope * np.arange(length, dtype=float)
+
+
+class TestARModel:
+    def test_forecast_of_linear_ramp_continues_the_ramp(self):
+        series = linear_ramp()
+        model = ARModel(order=2, difference=True).fit(series)
+        forecast = model.forecast(10)
+        expected = series[-1] + 2.0 * np.arange(1, 11)
+        assert np.allclose(forecast, expected, atol=1e-6)
+
+    def test_time_to_threshold_on_ramp(self):
+        series = linear_ramp(slope=1.0, start=0.0, length=100)
+        model = ARModel(order=1).fit(series)
+        # current value is 99, threshold 109 -> 10 steps ahead.
+        assert model.time_to_threshold(109.0) == pytest.approx(10.0)
+
+    def test_time_to_threshold_none_when_flat(self):
+        series = np.full(100, 5.0)
+        model = ARModel(order=1).fit(series)
+        assert model.time_to_threshold(100.0, max_steps=500) is None
+
+    def test_falling_threshold_direction(self):
+        series = 1000.0 - 1.0 * np.arange(100, dtype=float)
+        model = ARModel(order=1).fit(series)
+        steps = model.time_to_threshold(890.0, rising=False)
+        assert steps == pytest.approx(11.0, abs=1.0)
+
+    def test_without_differencing_fits_stationary_ar1(self):
+        rng = np.random.default_rng(0)
+        values = [0.0]
+        for _ in range(500):
+            values.append(0.8 * values[-1] + rng.normal(0, 0.1))
+        model = ARModel(order=1, difference=False).fit(values)
+        assert model.coefficients[0] == pytest.approx(0.8, abs=0.1)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            ARModel(order=5).fit([1.0, 2.0, 3.0])
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            ARModel(order=0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ARModel(order=1).fit([1.0, np.nan, 3.0, 4.0, 5.0])
+
+    def test_rejects_unfitted_forecast(self):
+        with pytest.raises(RuntimeError):
+            ARModel().forecast(5)
+
+    def test_rejects_zero_steps(self):
+        model = ARModel(order=1).fit(linear_ramp())
+        with pytest.raises(ValueError):
+            model.forecast(0)
+
+
+class TestARMAModel:
+    def test_forecast_of_linear_ramp(self):
+        series = linear_ramp()
+        model = ARMAModel(ar_order=1, ma_order=1).fit(series)
+        forecast = model.forecast(5)
+        expected = series[-1] + 2.0 * np.arange(1, 6)
+        assert np.allclose(forecast, expected, atol=0.5)
+
+    def test_time_to_threshold(self):
+        series = linear_ramp(slope=1.0, start=0.0)
+        model = ARMAModel(ar_order=1, ma_order=1).fit(series)
+        steps = model.time_to_threshold(series[-1] + 20.0)
+        assert steps == pytest.approx(20.0, abs=2.0)
+
+    def test_is_fitted_flag(self):
+        model = ARMAModel()
+        assert not model.is_fitted
+        model.fit(linear_ramp())
+        assert model.is_fitted
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            ARMAModel(ar_order=3, ma_order=3).fit(np.arange(8, dtype=float))
+
+    def test_rejects_bad_orders(self):
+        with pytest.raises(ValueError):
+            ARMAModel(ar_order=0)
+        with pytest.raises(ValueError):
+            ARMAModel(ma_order=-1)
+
+    def test_rejects_unfitted_forecast(self):
+        with pytest.raises(RuntimeError):
+            ARMAModel().forecast(3)
+
+
+class TestLagMatrix:
+    def test_shape_and_content(self):
+        series = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        matrix = _lag_matrix(series, 2)
+        assert matrix.shape == (3, 2)
+        # Row for target series[2]=3.0 should contain lags [2.0, 1.0].
+        assert matrix[0].tolist() == [2.0, 1.0]
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_ar_recovers_arbitrary_ramps(self, slope, start):
+        series = start + slope * np.arange(80, dtype=float)
+        model = ARModel(order=1).fit(series)
+        forecast = model.forecast(5)
+        expected = series[-1] + slope * np.arange(1, 6)
+        assert np.allclose(forecast, expected, rtol=1e-4, atol=1e-3)
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_forecast_length_matches_steps(self, order):
+        model = ARModel(order=order).fit(linear_ramp())
+        assert model.forecast(17).shape == (17,)

@@ -1,0 +1,118 @@
+"""Unit and property tests for the regression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    pearson_correlation,
+    r_squared,
+    root_mean_squared_error,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+vectors = st.lists(finite_floats, min_size=1, max_size=50)
+
+
+class TestMeanAbsoluteError:
+    def test_perfect_prediction_is_zero(self):
+        assert mean_absolute_error([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_absolute_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_symmetric_in_sign_of_error(self):
+        assert mean_absolute_error([0.0, 0.0], [2.0, -2.0]) == pytest.approx(2.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0, 2.0], [1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([[1.0], [2.0]], [[1.0], [2.0]])
+
+    @given(vectors)
+    def test_nonnegative(self, values):
+        shifted = [v + 1.0 for v in values]
+        assert mean_absolute_error(values, shifted) >= 0.0
+
+    @given(vectors)
+    def test_identity_is_zero(self, values):
+        assert mean_absolute_error(values, values) == pytest.approx(0.0, abs=1e-9)
+
+    @given(vectors, finite_floats)
+    def test_constant_shift_gives_shift(self, values, shift):
+        shifted = [v + shift for v in values]
+        assert mean_absolute_error(values, shifted) == pytest.approx(abs(shift), rel=1e-6, abs=1e-6)
+
+
+class TestSquaredErrors:
+    def test_mse_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_rmse_is_sqrt_of_mse(self):
+        y_true = [1.0, 2.0, 3.0, 4.0]
+        y_pred = [1.5, 1.5, 3.5, 3.0]
+        assert root_mean_squared_error(y_true, y_pred) == pytest.approx(
+            np.sqrt(mean_squared_error(y_true, y_pred))
+        )
+
+    @given(vectors)
+    def test_rmse_at_least_mae(self, values):
+        noisy = [v + ((-1) ** i) * 0.5 for i, v in enumerate(values)]
+        assert root_mean_squared_error(values, noisy) >= mean_absolute_error(values, noisy) - 1e-9
+
+
+class TestMape:
+    def test_known_value(self):
+        assert mean_absolute_percentage_error([10.0, 20.0], [11.0, 18.0]) == pytest.approx(0.1)
+
+    def test_ignores_zero_targets(self):
+        assert mean_absolute_percentage_error([0.0, 10.0], [5.0, 11.0]) == pytest.approx(0.1)
+
+    def test_all_zero_targets_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([0.0, 0.0], [1.0, 1.0])
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        assert r_squared([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_mean_prediction_is_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert r_squared(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        assert r_squared([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) < 0.0
+
+    def test_constant_target_perfect(self):
+        assert r_squared([5.0, 5.0], [5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_constant_target_imperfect(self):
+        assert r_squared([5.0, 5.0], [4.0, 6.0]) == pytest.approx(0.0)
+
+
+class TestPearsonCorrelation:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1.0, 2.0, 3.0], [2.0, 4.0, 6.0]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) == pytest.approx(-1.0)
+
+    def test_constant_vector_returns_zero(self):
+        assert pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    @given(st.lists(finite_floats, min_size=3, max_size=30))
+    def test_bounded(self, values):
+        other = [v * 0.5 + ((-1) ** i) for i, v in enumerate(values)]
+        assert -1.0 - 1e-9 <= pearson_correlation(values, other) <= 1.0 + 1e-9

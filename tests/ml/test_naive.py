@@ -1,0 +1,129 @@
+"""Tests for the Equation (1) naive slope predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.naive import NaiveSlopePredictor
+
+
+class TestPrediction:
+    def test_linear_consumption_gives_exact_ttf(self):
+        predictor = NaiveSlopePredictor(capacity=100.0, window=5)
+        # Consuming 2 units per second starting at 0, sampled every 10 s.
+        for step in range(5):
+            predictor.observe(step * 10.0, 2.0 * step * 10.0)
+        # At t=40 the resource is at 80, 20 remaining at 2/s -> 10 s.
+        assert predictor.predict_time_to_failure() == pytest.approx(10.0)
+
+    def test_no_consumption_returns_horizon_cap(self):
+        predictor = NaiveSlopePredictor(capacity=100.0, window=4, horizon_cap=3600.0)
+        for step in range(4):
+            predictor.observe(step * 15.0, 20.0)
+        assert predictor.predict_time_to_failure() == pytest.approx(3600.0)
+
+    def test_releasing_resource_returns_horizon_cap(self):
+        predictor = NaiveSlopePredictor(capacity=100.0, window=4)
+        for step in range(4):
+            predictor.observe(step * 15.0, 80.0 - step * 5.0)
+        assert predictor.predict_time_to_failure() == pytest.approx(10_800.0)
+
+    def test_exhausted_resource_returns_zero(self):
+        predictor = NaiveSlopePredictor(capacity=50.0, window=3)
+        predictor.observe(0.0, 10.0)
+        predictor.observe(15.0, 30.0)
+        predictor.observe(30.0, 55.0)
+        assert predictor.predict_time_to_failure() == 0.0
+
+    def test_no_observations_returns_horizon_cap(self):
+        predictor = NaiveSlopePredictor(capacity=10.0)
+        assert predictor.predict_time_to_failure() == pytest.approx(10_800.0)
+
+    def test_prediction_capped_at_horizon(self):
+        predictor = NaiveSlopePredictor(capacity=1e9, window=3, horizon_cap=100.0)
+        predictor.observe(0.0, 0.0)
+        predictor.observe(1.0, 0.001)
+        predictor.observe(2.0, 0.002)
+        assert predictor.predict_time_to_failure() == pytest.approx(100.0)
+
+
+class TestWindowBehaviour:
+    def test_window_limits_history(self):
+        predictor = NaiveSlopePredictor(capacity=1000.0, window=3)
+        # Early fast consumption followed by a slower regime; only the recent
+        # slow regime should matter once the window has slid past the start.
+        samples = [(0.0, 0.0), (10.0, 500.0), (20.0, 505.0), (30.0, 510.0), (40.0, 515.0)]
+        for timestamp, value in samples:
+            predictor.observe(timestamp, value)
+        assert predictor.consumption_speed() == pytest.approx(0.5, abs=1e-6)
+
+    def test_speed_of_single_observation_is_zero(self):
+        predictor = NaiveSlopePredictor(capacity=10.0)
+        predictor.observe(0.0, 1.0)
+        assert predictor.consumption_speed() == 0.0
+
+    def test_reset_clears_history(self):
+        predictor = NaiveSlopePredictor(capacity=10.0)
+        predictor.observe(0.0, 1.0)
+        predictor.reset()
+        assert predictor.num_observations == 0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            NaiveSlopePredictor(capacity=0.0)
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            NaiveSlopePredictor(capacity=1.0, window=1)
+
+    def test_rejects_nonincreasing_time(self):
+        predictor = NaiveSlopePredictor(capacity=10.0)
+        predictor.observe(10.0, 1.0)
+        with pytest.raises(ValueError):
+            predictor.observe(10.0, 2.0)
+
+    def test_predict_series_validates_lengths(self):
+        predictor = NaiveSlopePredictor(capacity=10.0)
+        with pytest.raises(ValueError):
+            predictor.predict_series([1.0, 2.0], [1.0])
+
+
+class TestPredictSeries:
+    def test_series_shape_and_final_value(self):
+        predictor = NaiveSlopePredictor(capacity=100.0, window=5)
+        times = np.arange(0, 150, 15, dtype=float)
+        values = times * 0.5  # 0.5 units per second
+        predictions = predictor.predict_series(times, values)
+        assert predictions.shape == times.shape
+        remaining = 100.0 - values[-1]
+        assert predictions[-1] == pytest.approx(remaining / 0.5, rel=1e-6)
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+        st.floats(min_value=100.0, max_value=10_000.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_constant_rate_prediction_matches_analytic_answer(self, rate, capacity):
+        predictor = NaiveSlopePredictor(capacity=capacity, window=6, horizon_cap=1e9)
+        for step in range(6):
+            predictor.observe(step * 15.0, rate * step * 15.0)
+        used = rate * 5 * 15.0
+        if used >= capacity:
+            assert predictor.predict_time_to_failure() == 0.0
+        else:
+            expected = (capacity - used) / rate
+            assert predictor.predict_time_to_failure() == pytest.approx(expected, rel=1e-6)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_prediction_always_within_bounds(self, values):
+        predictor = NaiveSlopePredictor(capacity=1e6 + 1.0, window=8, horizon_cap=7200.0)
+        for index, value in enumerate(values):
+            predictor.observe(float(index * 15), value)
+        prediction = predictor.predict_time_to_failure()
+        assert 0.0 <= prediction <= 7200.0

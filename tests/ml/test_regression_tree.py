@@ -1,0 +1,156 @@
+"""Tests for the CART-style regression tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.regression_tree import RegressionTree, _best_variance_split
+
+
+def make_step_data(rows=400, seed=0):
+    """Two plateaus: y = 10 for x<0, y = 50 for x>=0."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-10, 10, size=(rows, 2))
+    y = np.where(x[:, 0] < 0, 10.0, 50.0)
+    return x, y
+
+
+class TestGrowth:
+    def test_learns_a_step_function(self):
+        x, y = make_step_data()
+        tree = RegressionTree(min_samples_leaf=5).fit(x, y)
+        assert tree.predict_one([-5.0, 0.0]) == pytest.approx(10.0, abs=1.0)
+        assert tree.predict_one([5.0, 0.0]) == pytest.approx(50.0, abs=1.0)
+
+    def test_root_split_uses_informative_attribute(self):
+        x, y = make_step_data()
+        tree = RegressionTree(min_samples_leaf=5, attribute_names=["signal", "noise"]).fit(x, y)
+        assert tree.root.split_attribute == 0
+        assert abs(tree.root.split_value) < 1.0
+
+    def test_constant_target_single_leaf(self):
+        x = np.random.default_rng(0).uniform(0, 1, size=(50, 3))
+        y = np.full(50, 7.0)
+        tree = RegressionTree().fit(x, y)
+        assert tree.num_leaves == 1
+        assert tree.predict_one([0.5, 0.5, 0.5]) == pytest.approx(7.0)
+
+    def test_max_depth_respected(self):
+        x, y = make_step_data()
+        y = y + x[:, 1]  # add extra structure to encourage deep trees
+        tree = RegressionTree(min_samples_leaf=2, max_depth=2).fit(x, y)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf_respected(self):
+        x, y = make_step_data(rows=100)
+        tree = RegressionTree(min_samples_leaf=20).fit(x, y)
+        for node in tree.root.iter_nodes():
+            if node.is_leaf:
+                assert node.num_samples >= 20
+
+    def test_leaf_and_inner_counts_consistent(self):
+        x, y = make_step_data()
+        tree = RegressionTree(min_samples_leaf=5).fit(x, y)
+        # A binary tree always has one more leaf than inner nodes.
+        assert tree.num_leaves == tree.num_inner_nodes + 1
+
+
+class TestPrediction:
+    def test_predict_matrix_shape(self):
+        x, y = make_step_data()
+        tree = RegressionTree().fit(x, y)
+        predictions = tree.predict(x[:17])
+        assert predictions.shape == (17,)
+
+    def test_predictions_are_training_means(self):
+        x, y = make_step_data()
+        tree = RegressionTree().fit(x, y)
+        assert set(np.round(np.unique(tree.predict(x)), 3)) <= {10.0, 50.0}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict([[1.0]])
+
+
+class TestValidation:
+    def test_rejects_bad_min_samples(self):
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+
+    def test_rejects_bad_variance_fraction(self):
+        with pytest.raises(ValueError):
+            RegressionTree(min_variance_fraction=1.5)
+
+    def test_rejects_nan_features(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.array([[np.nan]]), np.array([1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 1)), np.zeros(0))
+
+
+class TestInspection:
+    def test_split_attribute_counts(self):
+        x, y = make_step_data()
+        tree = RegressionTree(attribute_names=["signal", "noise"]).fit(x, y)
+        counts = tree.split_attribute_counts()
+        assert counts.get("signal", 0) >= 1
+
+    def test_describe_contains_thresholds(self):
+        x, y = make_step_data()
+        tree = RegressionTree(attribute_names=["signal", "noise"]).fit(x, y)
+        text = tree.describe()
+        assert "signal" in text
+        assert "leaf" in text
+
+
+class TestBestSplitHelper:
+    def test_no_split_when_constant_target(self):
+        x = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.full(20, 3.0)
+        assert _best_variance_split(x, y, min_samples_leaf=2) is None
+
+    def test_no_split_when_too_few_rows(self):
+        x = np.arange(4, dtype=float).reshape(-1, 1)
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert _best_variance_split(x, y, min_samples_leaf=5) is None
+
+    def test_finds_obvious_threshold(self):
+        x = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.where(x[:, 0] < 10, 0.0, 100.0)
+        attribute, threshold = _best_variance_split(x, y, min_samples_leaf=2)
+        assert attribute == 0
+        assert 9.0 <= threshold <= 10.0
+
+    def test_identical_feature_values_not_split(self):
+        x = np.ones((30, 1))
+        y = np.random.default_rng(0).normal(size=30)
+        assert _best_variance_split(x, y, min_samples_leaf=2) is None
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=15, deadline=None)
+    def test_predictions_within_target_range(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-1, 1, size=(80, 2))
+        y = rng.uniform(0, 100, size=80)
+        tree = RegressionTree(min_samples_leaf=5).fit(x, y)
+        predictions = tree.predict(rng.uniform(-2, 2, size=(20, 2)))
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    @given(st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=10, deadline=None)
+    def test_structure_counts_consistent(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-1, 1, size=(60, 3))
+        y = x[:, 0] * 10 + rng.normal(0, 0.1, size=60)
+        tree = RegressionTree(min_samples_leaf=5).fit(x, y)
+        assert tree.num_leaves == tree.num_inner_nodes + 1

@@ -1,0 +1,30 @@
+"""Shared fixtures for the testbed tests.
+
+The fast configuration shrinks the exhaustible capacities (heap, threads) so
+crash-to-exhaustion scenarios finish within seconds of simulated time while
+exercising exactly the same code paths as the paper-scale configuration.
+"""
+
+import pytest
+
+from repro.testbed.config import TestbedConfig
+
+
+@pytest.fixture
+def fast_config() -> TestbedConfig:
+    """A small testbed that crashes quickly under aggressive injection."""
+    return TestbedConfig(
+        heap_max_mb=160.0,
+        young_capacity_mb=16.0,
+        old_initial_mb=48.0,
+        old_resize_step_mb=32.0,
+        perm_mb=16.0,
+        max_threads=96,
+        base_worker_threads=16,
+    )
+
+
+@pytest.fixture
+def paper_config() -> TestbedConfig:
+    """The paper-scale configuration (1 GB heap)."""
+    return TestbedConfig()

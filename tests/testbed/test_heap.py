@@ -1,0 +1,228 @@
+"""Tests for the generational JVM heap model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.testbed.errors import OutOfMemoryError
+from repro.testbed.jvm.gc import GarbageCollector, GCEvent
+from repro.testbed.jvm.heap import GenerationalHeap
+
+
+def make_heap(**overrides):
+    params = dict(
+        young_capacity_mb=16.0,
+        old_initial_mb=64.0,
+        old_max_mb=256.0,
+        perm_mb=16.0,
+        old_resize_step_mb=64.0,
+        promotion_fraction=0.1,
+        full_gc_release_fraction=0.8,
+    )
+    params.update(overrides)
+    return GenerationalHeap(**params)
+
+
+class TestTransientAllocation:
+    def test_young_fills_then_minor_gc_runs(self):
+        heap = make_heap()
+        heap.allocate_transient(15.0)
+        assert heap.young_used_mb == pytest.approx(15.0)
+        heap.allocate_transient(2.0)  # crosses the 16 MB young capacity
+        assert heap.collector.minor_collections >= 1
+        assert heap.young_used_mb < 16.0
+
+    def test_minor_gc_promotes_fraction_to_old(self):
+        heap = make_heap(promotion_fraction=0.25)
+        heap.allocate_transient(16.0)  # exactly fills young -> minor GC
+        assert heap.old_used_mb == pytest.approx(4.0)
+        assert heap.young_used_mb == 0.0
+
+    def test_large_transient_allocation_spans_multiple_gcs(self):
+        heap = make_heap()
+        heap.allocate_transient(100.0)
+        assert heap.collector.minor_collections >= 6
+        assert heap.young_used_mb < heap.young_capacity_mb
+
+    def test_zero_allocation_is_noop(self):
+        heap = make_heap()
+        heap.allocate_transient(0.0)
+        assert heap.young_used_mb == 0.0
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            make_heap().allocate_transient(-1.0)
+
+
+class TestLeakAllocation:
+    def test_leaks_accumulate_in_old(self):
+        heap = make_heap()
+        for _ in range(10):
+            heap.allocate_leak(1.0)
+        assert heap.leaked_mb == pytest.approx(10.0)
+        assert heap.old_used_mb >= 10.0
+
+    def test_old_resize_when_committed_exhausted(self):
+        heap = make_heap(old_initial_mb=32.0, old_resize_step_mb=32.0)
+        heap.allocate_leak(40.0)
+        assert heap.old_committed_mb >= 64.0
+        assert heap.collector.resizes >= 1
+
+    def test_out_of_memory_when_old_max_reached(self):
+        heap = make_heap(old_max_mb=64.0, old_initial_mb=32.0)
+        with pytest.raises(OutOfMemoryError) as crash:
+            heap.allocate_leak(100.0)
+        assert crash.value.resource == "memory"
+
+    def test_committed_never_exceeds_max(self):
+        heap = make_heap()
+        with pytest.raises(OutOfMemoryError):
+            for _ in range(1000):
+                heap.allocate_leak(1.0)
+        assert heap.old_committed_mb <= heap.old_max_mb
+
+    def test_full_gc_reclaims_floating_garbage_before_resize(self):
+        heap = make_heap(old_initial_mb=32.0, promotion_fraction=0.5, full_gc_release_fraction=1.0)
+        # Fill old with floating garbage via promotions.
+        for _ in range(4):
+            heap.allocate_transient(16.0)
+        floating_before = heap.old_used_mb
+        assert floating_before > 0
+        heap.allocate_leak(30.0)  # forces a full GC that clears the garbage
+        assert heap.collector.full_collections >= 1
+        assert heap.leaked_mb == pytest.approx(30.0)
+
+
+class TestRetainedPool:
+    def test_acquire_and_release_cycle(self):
+        heap = make_heap()
+        heap.allocate_retained(20.0)
+        assert heap.retained_mb == pytest.approx(20.0)
+        freed = heap.release_retained(5.0)
+        assert freed == pytest.approx(5.0)
+        assert heap.retained_mb == pytest.approx(15.0)
+
+    def test_release_all(self):
+        heap = make_heap()
+        heap.allocate_retained(12.0)
+        assert heap.release_retained() == pytest.approx(12.0)
+        assert heap.retained_mb == 0.0
+
+    def test_release_more_than_held_is_clamped(self):
+        heap = make_heap()
+        heap.allocate_retained(3.0)
+        assert heap.release_retained(10.0) == pytest.approx(3.0)
+
+    def test_release_does_not_shrink_committed(self):
+        heap = make_heap(old_initial_mb=32.0)
+        heap.allocate_retained(50.0)
+        committed = heap.committed_mb
+        heap.release_retained()
+        assert heap.committed_mb == pytest.approx(committed)
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ValueError):
+            make_heap().release_retained(-1.0)
+
+
+class TestSnapshotAndGeometry:
+    def test_snapshot_reflects_state(self):
+        heap = make_heap()
+        heap.allocate_leak(10.0)
+        heap.allocate_transient(4.0)
+        snapshot = heap.snapshot()
+        assert snapshot.old_used_mb == pytest.approx(heap.old_used_mb)
+        assert snapshot.young_used_mb == pytest.approx(4.0)
+        assert snapshot.committed_mb == pytest.approx(heap.committed_mb)
+        assert 0.0 <= snapshot.old_used_fraction <= 1.0
+        assert snapshot.live_mb == pytest.approx(snapshot.young_used_mb + snapshot.old_used_mb)
+
+    def test_committed_is_young_plus_old_plus_perm(self):
+        heap = make_heap()
+        assert heap.committed_mb == pytest.approx(16.0 + 64.0 + 16.0)
+
+    def test_headroom_shrinks_with_leaks(self):
+        heap = make_heap()
+        before = heap.headroom_mb
+        heap.allocate_leak(25.0)
+        assert heap.headroom_mb == pytest.approx(before - 25.0)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            make_heap(old_initial_mb=512.0, old_max_mb=256.0)
+        with pytest.raises(ValueError):
+            make_heap(young_capacity_mb=0.0)
+        with pytest.raises(ValueError):
+            make_heap(promotion_fraction=1.5)
+
+
+class TestGarbageCollectorLog:
+    def test_records_events_with_kind(self):
+        collector = GarbageCollector()
+        collector.record(10.0, "minor", 5.0, 64.0)
+        collector.record(20.0, "resize", 0.0, 128.0)
+        assert collector.minor_collections == 1
+        assert collector.resizes == 1
+        assert collector.resize_times() == [20.0]
+        assert collector.total_reclaimed_mb == pytest.approx(5.0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            GarbageCollector().record(0.0, "mystery", 0.0, 0.0)
+
+    def test_clear(self):
+        collector = GarbageCollector()
+        collector.record(1.0, "full", 2.0, 64.0)
+        collector.clear()
+        assert collector.events == []
+
+    def test_event_is_immutable(self):
+        event = GCEvent(1.0, "minor", 2.0, 64.0)
+        with pytest.raises(AttributeError):
+            event.kind = "full"
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=5.0, allow_nan=False), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_leaked_accounting_matches_sum_until_oom(self, allocations):
+        heap = make_heap(old_max_mb=128.0, old_initial_mb=32.0)
+        total = 0.0
+        try:
+            for amount in allocations:
+                heap.allocate_leak(amount)
+                total += amount
+        except OutOfMemoryError:
+            pass
+        assert heap.leaked_mb <= 128.0 + 1e-9
+        assert heap.leaked_mb == pytest.approx(min(total, heap.leaked_mb))
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["transient", "leak", "retained", "release"]),
+                      st.floats(min_value=0.0, max_value=3.0, allow_nan=False)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_heap_invariants_under_random_operations(self, operations):
+        heap = make_heap()
+        try:
+            for kind, amount in operations:
+                if kind == "transient":
+                    heap.allocate_transient(amount)
+                elif kind == "leak":
+                    heap.allocate_leak(amount)
+                elif kind == "retained":
+                    heap.allocate_retained(amount)
+                else:
+                    heap.release_retained(amount)
+        except OutOfMemoryError:
+            pass
+        assert 0.0 <= heap.young_used_mb <= heap.young_capacity_mb + 1e-9
+        assert heap.old_used_mb <= heap.old_max_mb + 1e-9
+        assert heap.old_committed_mb <= heap.old_max_mb + 1e-9
+        assert heap.committed_mb <= heap.young_capacity_mb + heap.old_max_mb + heap.perm_used_mb + 1e-9
+        assert heap.retained_mb >= 0.0
+        assert heap.leaked_mb >= 0.0

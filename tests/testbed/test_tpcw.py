@@ -1,0 +1,159 @@
+"""Tests for the TPC-W workload model (interactions, browsers, generator)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.testbed.tpcw.browser import EmulatedBrowser
+from repro.testbed.tpcw.interactions import INTERACTIONS, interaction_by_name
+from repro.testbed.tpcw.workload import WorkloadGenerator, WorkloadMix
+
+
+class TestInteractions:
+    def test_fourteen_interactions_defined(self):
+        assert len(INTERACTIONS) == 14
+
+    def test_all_names_unique(self):
+        names = [interaction.name for interaction in INTERACTIONS]
+        assert len(set(names)) == 14
+
+    def test_lookup_by_name(self):
+        assert interaction_by_name("search_request").name == "search_request"
+
+    def test_lookup_unknown_name_raises_with_hint(self):
+        with pytest.raises(KeyError, match="valid names"):
+            interaction_by_name("nonexistent_servlet")
+
+    def test_mix_weights_are_positive_and_aligned(self):
+        for mix in WorkloadMix:
+            weights = mix.weights()
+            assert len(weights) == len(INTERACTIONS)
+            assert all(weight > 0 for weight in weights)
+
+    def test_shopping_mix_gives_search_a_large_share(self):
+        # The memory leak is driven by the search servlet; under the shopping
+        # mix it should receive a substantial share of requests (~20 %).
+        weights = WorkloadMix.SHOPPING.weights()
+        total = sum(weights)
+        search_index = [i for i, x in enumerate(INTERACTIONS) if x.name == "search_request"][0]
+        share = weights[search_index] / total
+        assert 0.10 <= share <= 0.30
+
+    def test_service_demand_factors_positive(self):
+        assert all(interaction.service_demand_factor >= 1.0 for interaction in INTERACTIONS)
+
+
+class TestEmulatedBrowser:
+    def test_thinks_then_requests(self):
+        browser = EmulatedBrowser(0, mean_think_time_s=2.0, rng=random.Random(1))
+        wants_request = False
+        for _ in range(200):
+            if browser.tick(1.0):
+                wants_request = True
+                break
+        assert wants_request
+
+    def test_waiting_browser_does_not_issue(self):
+        browser = EmulatedBrowser(0, mean_think_time_s=1.0, rng=random.Random(2))
+        while not browser.tick(1.0):
+            pass
+        browser.start_request(response_time_s=5.0)
+        assert browser.is_waiting
+        assert browser.tick(1.0) is False
+
+    def test_response_completion_returns_to_thinking(self):
+        browser = EmulatedBrowser(0, mean_think_time_s=1.0, rng=random.Random(3))
+        while not browser.tick(1.0):
+            pass
+        browser.start_request(response_time_s=0.5)
+        browser.tick(1.0)
+        assert not browser.is_waiting
+        assert browser.requests_completed == 1
+
+    def test_cannot_start_two_requests(self):
+        browser = EmulatedBrowser(0, mean_think_time_s=1.0, rng=random.Random(4))
+        browser.start_request(0.1)
+        with pytest.raises(RuntimeError):
+            browser.start_request(0.1)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            EmulatedBrowser(0, mean_think_time_s=0.0, rng=random.Random(0))
+        browser = EmulatedBrowser(0, mean_think_time_s=1.0, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            browser.tick(0.0)
+        with pytest.raises(ValueError):
+            browser.start_request(-1.0)
+
+    def test_choose_interaction_respects_weights(self):
+        browser = EmulatedBrowser(0, mean_think_time_s=1.0, rng=random.Random(5))
+        interactions = list(INTERACTIONS)
+        weights = [0.0] * len(interactions)
+        weights[0] = 1.0
+        for _ in range(10):
+            assert browser.choose_interaction(interactions, weights) is interactions[0]
+
+
+class TestWorkloadGenerator:
+    def test_population_size(self):
+        generator = WorkloadGenerator(num_browsers=25, seed=0)
+        assert generator.num_browsers == 25
+
+    def test_requests_issued_over_time(self):
+        generator = WorkloadGenerator(num_browsers=50, mean_think_time_s=2.0, seed=0)
+        issued = []
+        for _ in range(60):
+            issued.extend(generator.tick(1.0))
+            for browser, _interaction in issued[-len(issued):]:
+                if not browser.is_waiting:
+                    browser.start_request(0.2)
+        assert generator.total_requests_issued > 0
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            generator = WorkloadGenerator(num_browsers=20, mean_think_time_s=3.0, seed=seed)
+            names = []
+            for _ in range(30):
+                for browser, interaction in generator.tick(1.0):
+                    names.append(interaction.name)
+                    browser.start_request(0.1)
+            return names
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_set_num_browsers_grows_and_shrinks(self):
+        generator = WorkloadGenerator(num_browsers=10, seed=0)
+        generator.set_num_browsers(15)
+        assert generator.num_browsers == 15
+        generator.set_num_browsers(5)
+        assert generator.num_browsers == 5
+        with pytest.raises(ValueError):
+            generator.set_num_browsers(0)
+
+    def test_set_mix_changes_weights(self):
+        generator = WorkloadGenerator(num_browsers=5, seed=0)
+        generator.set_mix(WorkloadMix.ORDERING)
+        assert generator.mix is WorkloadMix.ORDERING
+
+    def test_rejects_zero_browsers(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(num_browsers=0)
+
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_issue_rate_scales_with_population(self, num_browsers, seed):
+        generator = WorkloadGenerator(num_browsers=num_browsers, mean_think_time_s=5.0, seed=seed)
+        issued = 0
+        for _ in range(120):
+            requests = generator.tick(1.0)
+            issued += len(requests)
+            for browser, _interaction in requests:
+                browser.start_request(0.1)
+        # A closed-loop population of B browsers with ~5 s cycles should issue
+        # roughly B * 120 / 5 requests in 120 s; allow a wide band.
+        expected = num_browsers * 120 / 5.0
+        assert issued >= expected * 0.3
+        assert issued <= expected * 2.5
