@@ -1,0 +1,21 @@
+"""Plain helpers shared by the benchmark modules.
+
+These live outside ``conftest.py`` on purpose: conftest modules are loaded
+by pytest under the bare module name ``conftest``, so importing one by name
+collides with the ``tests/`` conftests whenever both suites are collected in
+a single pytest invocation.  A regular module has a unique name and no such
+restriction.
+"""
+
+from __future__ import annotations
+
+#: Seed shared by every benchmark so the whole harness is reproducible.
+BENCH_SEED = 2010
+
+
+def print_comparison(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-versus-measured table in a fixed-width layout."""
+    print(f"\n=== {title} ===")
+    print(f"{'quantity':38s}{'paper':>24s}{'measured':>24s}")
+    for label, paper_value, measured_value in rows:
+        print(f"{label:38s}{paper_value:>24s}{measured_value:>24s}")

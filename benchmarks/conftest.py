@@ -23,8 +23,7 @@ from repro.experiments.exp43 import run_experiment_43
 from repro.experiments.exp44 import run_experiment_44
 from repro.experiments.scenarios import ExperimentScenarios
 
-#: Seed shared by every benchmark so the whole harness is reproducible.
-BENCH_SEED = 2010
+from bench_util import BENCH_SEED
 
 
 @pytest.fixture(scope="session")
@@ -51,11 +50,3 @@ def exp43_result(paper_scenarios):
 @pytest.fixture(scope="session")
 def exp44_result(paper_scenarios):
     return run_experiment_44(paper_scenarios)
-
-
-def print_comparison(title: str, rows: list[tuple[str, str, str]]) -> None:
-    """Print a paper-versus-measured table in a fixed-width layout."""
-    print(f"\n=== {title} ===")
-    print(f"{'quantity':38s}{'paper':>24s}{'measured':>24s}")
-    for label, paper_value, measured_value in rows:
-        print(f"{label:38s}{paper_value:>24s}{measured_value:>24s}")

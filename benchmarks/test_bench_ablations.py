@@ -11,7 +11,7 @@ from repro.experiments.ablations import (
     run_window_sweep,
 )
 
-from .conftest import print_comparison
+from bench_util import print_comparison
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,31 @@
+"""Benchmark the clustered-deployment experiment (rolling rejuvenation)."""
+
+import pytest
+
+from repro.experiments.cluster import run_cluster_experiment
+from repro.experiments.scenarios import ClusterScenario
+
+from bench_util import print_comparison
+
+
+@pytest.fixture(scope="session")
+def cluster_scenario() -> ClusterScenario:
+    """The paper-scale fleet: three 1 GB-heap nodes, 100 EBs each, N=30."""
+    return ClusterScenario.paper_scale()
+
+
+def test_cluster_rolling_rejuvenation(benchmark, cluster_scenario):
+    """Regenerate the three-strategy fleet comparison at paper scale."""
+    result = benchmark.pedantic(
+        run_cluster_experiment, kwargs={"scenario": cluster_scenario}, iterations=1, rounds=1
+    )
+    rows = []
+    for name, outcome in result.outcomes().items():
+        rows.append((f"{name} availability", "-", f"{outcome.availability:.4f}"))
+        rows.append((f"{name} full outage", "-", f"{outcome.full_outage_seconds:.0f} s"))
+        rows.append((f"{name} crashes / restarts", "-", f"{outcome.crashes} / {outcome.rejuvenations}"))
+    rows.append(("time-based interval", "-", f"{result.time_based_interval_seconds:.0f} s"))
+    rows.append(("rolling wins (higher avail., no outage)", "expected", str(result.rolling_wins())))
+    print_comparison("Cluster: coordinated rolling predictive rejuvenation", rows)
+
+    assert result.rolling_wins()

@@ -3,7 +3,7 @@
 from repro.core.evaluation import format_duration
 from repro.experiments.exp42 import run_experiment_42
 
-from .conftest import print_comparison
+from bench_util import print_comparison
 
 #: The paper's reported accuracy for M5P in Experiment 4.2 (seconds).
 PAPER_EXP42_M5P = {"MAE": 16 * 60 + 26, "S-MAE": 13 * 60 + 3, "PRE-MAE": 17 * 60 + 15, "POST-MAE": 8 * 60 + 14}

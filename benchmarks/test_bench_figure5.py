@@ -3,7 +3,7 @@
 from repro.core.evaluation import format_duration
 from repro.experiments.exp44 import run_experiment_44
 
-from .conftest import print_comparison
+from bench_util import print_comparison
 
 #: The paper's reported accuracy for M5P in Experiment 4.4 (seconds).
 PAPER_EXP44_M5P = {"MAE": 16 * 60 + 52, "S-MAE": 13 * 60 + 22, "PRE-MAE": 18 * 60 + 16, "POST-MAE": 2 * 60 + 5}

@@ -5,7 +5,7 @@ import numpy as np
 from repro.core.evaluation import format_duration
 from repro.experiments.figures import figure1_series, figure2_series
 
-from .conftest import print_comparison
+from bench_util import print_comparison
 
 
 def test_figure1_nonlinear_memory(benchmark, paper_scenarios):

@@ -17,7 +17,7 @@ from repro.ml.linear_regression import LinearRegressionModel
 from repro.ml.m5p import M5PModelTree
 from repro.ml.regression_tree import RegressionTree
 
-from .conftest import BENCH_SEED
+from bench_util import BENCH_SEED
 
 
 @pytest.fixture(scope="module")

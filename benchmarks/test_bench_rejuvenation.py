@@ -11,7 +11,7 @@ from repro.rejuvenation.policies import (
 )
 from repro.rejuvenation.simulator import simulate_policy
 
-from .conftest import BENCH_SEED, print_comparison
+from bench_util import BENCH_SEED, print_comparison
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,7 @@ from repro.core.features import FeatureCatalog
 from repro.testbed.config import MachineDescription, TestbedConfig
 from repro.testbed.monitoring.metrics_catalog import RAW_METRICS
 
-from .conftest import print_comparison
+from bench_util import print_comparison
 
 
 def test_table1_machine_description(benchmark):

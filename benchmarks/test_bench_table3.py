@@ -3,7 +3,7 @@
 from repro.core.evaluation import format_duration
 from repro.experiments.exp41 import run_experiment_41
 
-from .conftest import print_comparison
+from bench_util import print_comparison
 
 #: The paper's Table 3, in seconds, keyed by (workload, model, metric).
 PAPER_TABLE3 = {

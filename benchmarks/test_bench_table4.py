@@ -3,7 +3,7 @@
 from repro.core.evaluation import format_duration
 from repro.experiments.exp43 import run_experiment_43
 
-from .conftest import print_comparison
+from bench_util import print_comparison
 
 #: The paper's Table 4 (seconds), for the feature-selected models.
 PAPER_TABLE4 = {

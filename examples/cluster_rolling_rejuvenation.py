@@ -1,0 +1,74 @@
+"""Coordinated rolling rejuvenation of a load-balanced server fleet.
+
+The paper predicts the time to crash of one Tomcat+MySQL server and restarts
+it before the failure.  This example scales that loop to the setting real
+deployments face -- a fleet of aging servers behind a load balancer -- and
+compares three ways of operating it on the same seeded scenario:
+
+1. no rejuvenation: every node runs to its crash;
+2. uncoordinated time-based restarts: each node independently restarts after
+   a fixed uptime (half the smallest crash time ever observed).  Nothing
+   staggers the nodes, so the implicitly synchronised fleet restarts
+   together and the service goes dark;
+3. coordinated rolling predictive rejuvenation: every node streams its
+   monitoring marks through the fitted M5P predictor, the aging-aware
+   balancer sheds traffic away from nodes forecast to crash, and alarmed
+   nodes are drained and restarted one at a time under a minimum-capacity
+   floor.
+
+Run it with::
+
+    python examples/cluster_rolling_rejuvenation.py
+"""
+
+from repro.experiments import ClusterScenario, run_cluster_experiment
+
+
+def main() -> None:
+    scenario = ClusterScenario.fast()
+    print(
+        f"Operating a {scenario.num_nodes}-node fleet ({scenario.total_ebs} emulated browsers, "
+        f"N={scenario.memory_n} memory leak) for {scenario.horizon_seconds / 3600.0:.0f} h "
+        "under three strategies...\n"
+    )
+    result = run_cluster_experiment(scenario)
+
+    print(
+        f"Predictor trained on {len(result.training_crash_seconds)} failure runs "
+        f"(crashes at {', '.join(f'{t:.0f}s' for t in result.training_crash_seconds)}); "
+        f"time-based baseline restarts every {result.time_based_interval_seconds:.0f}s.\n"
+    )
+
+    header = (
+        f"{'strategy':28s}{'availability':>14s}{'full outage':>13s}{'crashes':>9s}"
+        f"{'restarts':>10s}{'min active':>12s}{'served':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, outcome in result.outcomes().items():
+        print(
+            f"{name:28s}{outcome.availability:>14.4f}{outcome.full_outage_seconds:>12.0f}s"
+            f"{outcome.crashes:>9d}{outcome.rejuvenations:>10d}"
+            f"{f'{outcome.min_active_nodes}/{outcome.num_nodes}':>12s}"
+            f"{outcome.request_success_rate:>9.2%}"
+        )
+
+    rolling = result.rolling_predictive
+    print("\nPer-node accounting of the rolling predictive fleet:")
+    for node in rolling.per_node:
+        print(
+            f"  node {node.node_id}: availability {node.availability:.4f}, "
+            f"{node.rejuvenations} rolling restarts, {node.crashes} crashes, "
+            f"{node.requests_served} requests served"
+        )
+
+    print(
+        "\nCoordinated rolling predictive rejuvenation "
+        + ("wins" if result.rolling_wins() else "does NOT win")
+        + ": strictly higher fleet availability than both baselines and "
+        f"{rolling.full_outage_seconds:.0f} seconds of full outage."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+"""Fleet-level rejuvenation coordination.
+
+The single-server policies of :mod:`repro.rejuvenation.policies` answer
+"should *this* server restart now?".  At fleet scale the question becomes
+"which servers may restart *now* without hurting the service?", and the
+difference between answering it and not answering it is exactly what the
+cluster experiment measures:
+
+``NoClusterRejuvenation``
+    The baseline: every node runs to its crash.
+``UncoordinatedTimeBasedRejuvenation``
+    Every node independently applies the classic fixed-uptime restart rule.
+    Nothing synchronises them -- and because a freshly started fleet is
+    implicitly synchronised, all nodes reach the interval together and
+    restart together, taking the whole service down at once.
+``RollingPredictiveRejuvenation``
+    The subsystem's centrepiece: nodes whose on-line M5P forecast has raised
+    the rejuvenation alarm are drained and restarted one batch at a time,
+    never letting the number of serving nodes drop below the configured
+    minimum capacity.  Predictive triggering avoids both needless restarts
+    and crashes; coordination turns the per-node downtime into a capacity
+    dip instead of an outage.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cluster.node import NodeState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import ClusterNode
+
+__all__ = [
+    "ClusterRejuvenationCoordinator",
+    "NoClusterRejuvenation",
+    "UncoordinatedTimeBasedRejuvenation",
+    "RollingPredictiveRejuvenation",
+]
+
+
+class ClusterRejuvenationCoordinator(abc.ABC):
+    """Decides, tick by tick, which nodes start draining for a restart."""
+
+    @abc.abstractmethod
+    def decide(self, now_seconds: float, nodes: Sequence["ClusterNode"]) -> list["ClusterNode"]:
+        """Return the nodes that should begin draining at ``now_seconds``."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class NoClusterRejuvenation(ClusterRejuvenationCoordinator):
+    """Never restart anything: nodes run until they crash."""
+
+    def decide(self, now_seconds: float, nodes: Sequence["ClusterNode"]) -> list["ClusterNode"]:
+        return []
+
+
+class UncoordinatedTimeBasedRejuvenation(ClusterRejuvenationCoordinator):
+    """Each node independently restarts after a fixed uptime.
+
+    This is the per-node :class:`TimeBasedRejuvenationPolicy` applied with no
+    fleet awareness: a node that reaches ``interval_seconds`` of uptime drains
+    immediately, regardless of how many of its peers are already down.
+    """
+
+    def __init__(self, interval_seconds: float) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.interval_seconds = float(interval_seconds)
+
+    def decide(self, now_seconds: float, nodes: Sequence["ClusterNode"]) -> list["ClusterNode"]:
+        return [
+            node
+            for node in nodes
+            if node.state is NodeState.ACTIVE and node.current_uptime_seconds >= self.interval_seconds
+        ]
+
+    def describe(self) -> str:
+        return f"UncoordinatedTimeBasedRejuvenation(every {self.interval_seconds:.0f}s of uptime)"
+
+
+class RollingPredictiveRejuvenation(ClusterRejuvenationCoordinator):
+    """Rolling restarts of alarmed nodes under a fleet capacity floor.
+
+    Parameters
+    ----------
+    max_concurrent_restarts:
+        Upper bound on nodes simultaneously draining or sitting out a
+        *planned* restart.  Nodes in unplanned crash recovery do not consume
+        this budget -- otherwise one crash would veto rejuvenating the
+        remaining alarmed nodes for its whole recovery time, turning one
+        crash into a cascade -- but they do count against the capacity
+        floor below.
+    min_active_fraction:
+        Fraction of the fleet that must stay in the ``ACTIVE`` state; a node
+        is only released for draining while the floor holds afterwards.
+        The floor is computed as ``ceil(min_active_fraction * len(nodes))``.
+    """
+
+    def __init__(self, max_concurrent_restarts: int = 1, min_active_fraction: float = 0.5) -> None:
+        if max_concurrent_restarts < 1:
+            raise ValueError("max_concurrent_restarts must be at least 1")
+        if not 0.0 <= min_active_fraction < 1.0:
+            raise ValueError("min_active_fraction must be in [0, 1)")
+        self.max_concurrent_restarts = max_concurrent_restarts
+        self.min_active_fraction = float(min_active_fraction)
+
+    def min_active_nodes(self, fleet_size: int) -> int:
+        """Capacity floor for a fleet of ``fleet_size`` nodes."""
+        return int(math.ceil(self.min_active_fraction * fleet_size))
+
+    def decide(self, now_seconds: float, nodes: Sequence["ClusterNode"]) -> list["ClusterNode"]:
+        budget = self.max_concurrent_restarts - sum(1 for node in nodes if node.planned_transition)
+        if budget <= 0:
+            return []
+        floor = self.min_active_nodes(len(nodes))
+        active = sum(1 for node in nodes if node.state is NodeState.ACTIVE)
+        # Most urgent first: the node forecast to crash soonest drains first.
+        alarmed = sorted(
+            (node for node in nodes if node.state is NodeState.ACTIVE and node.alarm),
+            key=lambda node: (
+                node.predicted_ttf_seconds if node.predicted_ttf_seconds is not None else float("inf"),
+                node.node_id,
+            ),
+        )
+        chosen: list["ClusterNode"] = []
+        for node in alarmed:
+            if budget <= 0 or active - 1 < floor:
+                break
+            chosen.append(node)
+            budget -= 1
+            active -= 1
+        return chosen
+
+    def describe(self) -> str:
+        return (
+            f"RollingPredictiveRejuvenation(max {self.max_concurrent_restarts} concurrent, "
+            f"min active {self.min_active_fraction:.0%})"
+        )

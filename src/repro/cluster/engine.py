@@ -1,0 +1,235 @@
+"""The clustered deployment engine: N testbed nodes behind one load balancer.
+
+``ClusterEngine`` composes the pieces of this package into one runnable
+fleet: a shared TPC-W workload generator produces the request stream, the
+:class:`LoadBalancer` routes every request to an accepting
+:class:`ClusterNode`, each node advances its own
+:class:`repro.testbed.engine.TestbedSimulation` on the shared cluster clock,
+and a :class:`ClusterRejuvenationCoordinator` drains and restarts nodes
+according to its policy.  :class:`FleetStatus` folds every tick into the
+availability accounting.
+
+The engine redistributes workload automatically at every membership change:
+
+* when a node **crashes mid-request**, the failed request is rerouted to the
+  surviving nodes on the spot and the balancer's allocations shift to them;
+* when a node **drains or restarts**, it simply stops being an accepting
+  candidate, so the routing policy spreads its share over the rest;
+* when a node **rejoins**, it re-enters the candidate set with a fresh
+  incarnation (and, under aging-aware routing, a clean bill of health).
+
+With no accepting node at all the fleet is in full outage: requests are
+dropped, browsers back off for ``dropped_request_penalty_s`` and the outage
+seconds are charged to the status aggregator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.cluster.balancer import LoadBalancer
+from repro.cluster.coordinator import ClusterRejuvenationCoordinator, NoClusterRejuvenation
+from repro.cluster.node import ClusterNode, InjectorFactory
+from repro.cluster.routing import RoutingPolicy
+from repro.cluster.status import ClusterOutcome, FleetStatus
+from repro.core.predictor import AgingPredictor
+from repro.testbed.clock import SimulationClock
+from repro.testbed.config import TestbedConfig
+from repro.testbed.errors import ServerCrash
+from repro.testbed.tpcw.workload import WorkloadGenerator, WorkloadMix
+
+__all__ = ["ClusterEngine"]
+
+#: Seed stride between the nodes of one cluster.
+_NODE_SEED_STRIDE = 104729
+
+
+class ClusterEngine:
+    """One runnable clustered deployment of ``num_nodes`` testbed servers.
+
+    Parameters
+    ----------
+    num_nodes:
+        Fleet size.
+    config:
+        Testbed configuration shared by every node (and every incarnation).
+    total_ebs:
+        Fleet-level TPC-W emulated-browser population; the load balancer
+        spreads it across the accepting nodes.
+    injector_factory:
+        Builds the aging-fault injectors of each node incarnation from its
+        derived seed; ``None`` runs a healthy fleet.
+    routing_policy:
+        Load-balancing policy (round-robin when omitted).
+    coordinator:
+        Fleet rejuvenation coordinator (never rejuvenate when omitted).
+    predictor:
+        Optional fitted :class:`AgingPredictor`; required for aging-aware
+        routing and predictive coordination to see per-node forecasts.
+    alarm_threshold_seconds / alarm_consecutive:
+        Per-node on-line monitor configuration.
+    drain_seconds:
+        Out-of-rotation time before a planned restart.
+    rejuvenation_downtime_seconds / crash_downtime_seconds:
+        Planned versus unplanned restart downtime of a node.
+    dropped_request_penalty_s:
+        Back-off a browser suffers when the whole fleet is down.
+    mix:
+        TPC-W traffic mix.
+    seed:
+        Master seed; the workload stream and every node derive their own
+        deterministic seeds from it.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 3,
+        config: TestbedConfig | None = None,
+        total_ebs: int = 120,
+        injector_factory: InjectorFactory | None = None,
+        routing_policy: RoutingPolicy | None = None,
+        coordinator: ClusterRejuvenationCoordinator | None = None,
+        predictor: AgingPredictor | None = None,
+        alarm_threshold_seconds: float = 600.0,
+        alarm_consecutive: int = 2,
+        drain_seconds: float = 30.0,
+        rejuvenation_downtime_seconds: float = 120.0,
+        crash_downtime_seconds: float = 900.0,
+        dropped_request_penalty_s: float = 3.0,
+        mix: WorkloadMix = WorkloadMix.SHOPPING,
+        seed: int = 0,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        if total_ebs < 1:
+            raise ValueError("total_ebs must be at least 1")
+        if dropped_request_penalty_s <= 0:
+            raise ValueError("dropped_request_penalty_s must be positive")
+        self.config = config if config is not None else TestbedConfig()
+        self.total_ebs = total_ebs
+        self.seed = seed
+        self.dropped_request_penalty_s = float(dropped_request_penalty_s)
+
+        factory: InjectorFactory = injector_factory if injector_factory is not None else (lambda _seed: [])
+        self.clock = SimulationClock(self.config.tick_seconds)
+        self.workload = WorkloadGenerator(
+            num_browsers=total_ebs,
+            mean_think_time_s=self.config.mean_think_time_s,
+            mix=mix,
+            seed=random.Random(seed).randrange(2**31),
+        )
+        self.balancer = LoadBalancer(routing_policy)
+        self.coordinator = coordinator if coordinator is not None else NoClusterRejuvenation()
+        self.nodes: list[ClusterNode] = [
+            ClusterNode(
+                node_id=node_id,
+                config=self.config,
+                injector_factory=factory,
+                seed=seed + _NODE_SEED_STRIDE * (node_id + 1),
+                predictor=predictor,
+                alarm_threshold_seconds=alarm_threshold_seconds,
+                alarm_consecutive=alarm_consecutive,
+                drain_seconds=drain_seconds,
+                rejuvenation_downtime_seconds=rejuvenation_downtime_seconds,
+                crash_downtime_seconds=crash_downtime_seconds,
+            )
+            for node_id in range(num_nodes)
+        ]
+        self.status = FleetStatus(num_nodes)
+        #: Requests rerouted to a surviving node after a mid-request crash.
+        self.requests_rerouted = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, max_seconds: float = 4 * 3600.0) -> ClusterOutcome:
+        """Operate the fleet for ``max_seconds`` and return the outcome.
+
+        Unlike a single-server run the cluster never "ends with the crash":
+        crashed nodes recover after their downtime and rejoin, so the run
+        always covers the full horizon.  The engine is single-use.
+        """
+        if max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+        if self._finished:
+            raise RuntimeError("this cluster engine has already been run; create a new one")
+        self._finished = True
+
+        tick = self.config.tick_seconds
+        while self.clock.now < max_seconds:
+            self.clock.advance()
+            self._run_one_tick(tick)
+        return self.outcome()
+
+    def _run_one_tick(self, tick: float) -> None:
+        live_nodes = [node for node in self.nodes if node.advance_tick(tick)]
+        served, dropped, routed_per_node = self._route_requests(tick)
+        self._drive_injectors(live_nodes)
+        self._close_node_ticks(live_nodes, routed_per_node)
+        active = sum(1 for node in self.nodes if node.accepting)
+        self.status.record_tick(tick, active_nodes=active, served=served, dropped=dropped)
+        for node in self.coordinator.decide(self.clock.now, self.nodes):
+            node.begin_drain()
+
+    def _route_requests(self, tick: float) -> tuple[int, int, dict[int, int]]:
+        """Issue this tick's fleet workload and route it request by request."""
+        served = 0
+        dropped = 0
+        routed_per_node: dict[int, int] = {}
+        for browser, interaction in self.workload.tick(tick):
+            while True:
+                target = self.balancer.route(self.nodes)
+                if target is None:
+                    # Full outage: the request is lost and the browser backs off.
+                    dropped += 1
+                    browser.start_request(self.dropped_request_penalty_s)
+                    break
+                try:
+                    outcome = target.serve(interaction)
+                except ServerCrash as crash:
+                    # The node died under this request: take it out of
+                    # rotation and redistribute to the survivors.
+                    target.record_crash(crash)
+                    self.requests_rerouted += 1
+                    continue
+                browser.start_request(outcome.response_time_s)
+                served += 1
+                routed_per_node[target.node_id] = routed_per_node.get(target.node_id, 0) + 1
+                break
+        return served, dropped, routed_per_node
+
+    def _drive_injectors(self, live_nodes: Sequence[ClusterNode]) -> None:
+        for node in live_nodes:
+            if not node.live:  # crashed earlier this tick while serving
+                continue
+            try:
+                node.drive_injectors()
+            except ServerCrash as crash:
+                node.record_crash(crash)
+
+    def _close_node_ticks(self, live_nodes: Sequence[ClusterNode], routed: dict[int, int]) -> None:
+        allocations = self.balancer.allocations(self.nodes, self.total_ebs)
+        for node in live_nodes:
+            if not node.live:
+                continue
+            node.end_tick(
+                requests_completed=routed.get(node.node_id, 0),
+                assigned_ebs=allocations.get(node.node_id, 0),
+            )
+
+    # --------------------------------------------------------------- results
+
+    def outcome(self) -> ClusterOutcome:
+        """Freeze the fleet accounting into a :class:`ClusterOutcome`."""
+        return self.status.outcome(
+            self.nodes,
+            routing_description=self.balancer.policy.describe(),
+            coordinator_description=self.coordinator.describe(),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"ClusterEngine({len(self.nodes)} nodes, {self.total_ebs} EBs, "
+            f"{self.balancer.describe()}, {self.coordinator.describe()})"
+        )

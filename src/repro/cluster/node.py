@@ -1,0 +1,306 @@
+"""One server of the clustered deployment: a testbed simulation plus lifecycle.
+
+A :class:`ClusterNode` owns a sequence of *incarnations* of the single-server
+:class:`repro.testbed.engine.TestbedSimulation` -- one per (re)start -- and
+the state machine around them:
+
+``ACTIVE``
+    The node accepts new requests from the load balancer.
+``DRAINING``
+    A rejuvenation has been scheduled: the node stays up (in-flight sessions
+    finish, injectors keep running -- aging does not pause politely) but the
+    balancer sends it no new traffic.  After the drain window it restarts.
+``RESTARTING``
+    The node is down, either for the short *planned* rejuvenation downtime or
+    for the long *unplanned* crash recovery, mirroring the two downtime
+    classes of :mod:`repro.rejuvenation.simulator`.
+
+Each incarnation gets a derived seed, a fresh set of fault injectors from the
+node's injector factory and, when a fitted :class:`AgingPredictor` is
+supplied, a fresh :class:`OnlineAgingMonitor` streaming its monitoring marks
+-- the node-local forecast that both the aging-aware routing policy and the
+rolling rejuvenation coordinator consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable
+
+from repro.core.online import OnlineAgingMonitor, OnlinePrediction
+from repro.core.predictor import AgingPredictor
+from repro.testbed.config import TestbedConfig
+from repro.testbed.engine import TestbedSimulation
+from repro.testbed.errors import ServerCrash
+from repro.testbed.faults.injector import FaultInjector
+from repro.testbed.monitoring.collector import MonitoringSample, Trace
+from repro.testbed.tpcw.interactions import Interaction
+
+__all__ = ["ClusterNode", "NodeState", "InjectorFactory"]
+
+#: Builds the fault injectors of one incarnation from its derived seed.
+InjectorFactory = Callable[[int], Iterable[FaultInjector]]
+
+#: Seed stride between incarnations of the same node.
+_INCARNATION_SEED_STRIDE = 7919
+
+
+class NodeState(enum.Enum):
+    """Lifecycle state of a cluster node."""
+
+    ACTIVE = "active"
+    DRAINING = "draining"
+    RESTARTING = "restarting"
+
+
+class ClusterNode:
+    """One load-balanced server and its restart lifecycle.
+
+    Parameters
+    ----------
+    node_id:
+        Stable identifier of the node within the fleet.
+    config:
+        Testbed configuration shared by every incarnation.
+    injector_factory:
+        Called with the incarnation seed to build fresh fault injectors
+        (injectors are stateful and attach to one server).
+    seed:
+        Base seed of the node; incarnation ``k`` runs with
+        ``seed + 7919 * k``.
+    predictor:
+        Optional fitted aging predictor; when present every incarnation
+        streams its samples through an :class:`OnlineAgingMonitor`.
+    alarm_threshold_seconds / alarm_consecutive:
+        Alarm configuration of the per-incarnation monitor.
+    drain_seconds:
+        How long a draining node keeps running before its planned restart.
+    rejuvenation_downtime_seconds / crash_downtime_seconds:
+        Downtime charged for a planned restart versus an unplanned crash.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: TestbedConfig,
+        injector_factory: InjectorFactory,
+        seed: int = 0,
+        predictor: AgingPredictor | None = None,
+        alarm_threshold_seconds: float = 600.0,
+        alarm_consecutive: int = 2,
+        drain_seconds: float = 30.0,
+        rejuvenation_downtime_seconds: float = 120.0,
+        crash_downtime_seconds: float = 900.0,
+    ) -> None:
+        if drain_seconds < 0:
+            raise ValueError("drain_seconds cannot be negative")
+        if rejuvenation_downtime_seconds <= 0 or crash_downtime_seconds <= 0:
+            raise ValueError("downtimes must be positive")
+        if predictor is not None and not predictor.is_fitted:
+            raise ValueError("the predictor must be fitted before it can monitor a node")
+        self.node_id = node_id
+        self.config = config
+        self.injector_factory = injector_factory
+        self.seed = seed
+        self.predictor = predictor
+        self.alarm_threshold_seconds = float(alarm_threshold_seconds)
+        self.alarm_consecutive = alarm_consecutive
+        self.drain_seconds = float(drain_seconds)
+        self.rejuvenation_downtime_seconds = float(rejuvenation_downtime_seconds)
+        self.crash_downtime_seconds = float(crash_downtime_seconds)
+
+        #: Completed and current incarnation traces, in order.
+        self.incarnations: list[Trace] = []
+        self.state = NodeState.ACTIVE
+        self.simulation: TestbedSimulation | None = None
+        self.monitor: OnlineAgingMonitor | None = None
+        self.latest_prediction: OnlinePrediction | None = None
+        self._incarnation_index = 0
+        self._drain_remaining = 0.0
+        self._downtime_remaining = 0.0
+        self._downtime_planned = False
+
+        # Lifetime accounting.
+        self.uptime_seconds = 0.0
+        self.planned_downtime_seconds = 0.0
+        self.unplanned_downtime_seconds = 0.0
+        self.crashes = 0
+        self.rejuvenations = 0
+        self.requests_served = 0
+
+        self._start_incarnation()
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def live(self) -> bool:
+        """Whether the node's server process is running this tick."""
+        return self.state in (NodeState.ACTIVE, NodeState.DRAINING)
+
+    @property
+    def accepting(self) -> bool:
+        """Whether the load balancer may send this node new requests."""
+        return self.state is NodeState.ACTIVE
+
+    @property
+    def planned_transition(self) -> bool:
+        """Draining or sitting out a *planned* restart (not crash recovery).
+
+        The rolling coordinator's concurrency budget counts only these:
+        crash recovery is involuntary and must not block rejuvenating the
+        remaining alarmed nodes (the capacity floor still accounts for it).
+        """
+        if self.state is NodeState.DRAINING:
+            return True
+        return self.state is NodeState.RESTARTING and self._downtime_planned
+
+    @property
+    def current_uptime_seconds(self) -> float:
+        """Uptime of the current incarnation (0 while restarting)."""
+        if not self.live or self.simulation is None:
+            return 0.0
+        return self.simulation.clock.now
+
+    @property
+    def open_connections(self) -> int:
+        """Open HTTP connections of the current incarnation (0 when down)."""
+        if not self.live or self.simulation is None:
+            return 0
+        return self.simulation.server.http_connections
+
+    @property
+    def predicted_ttf_seconds(self) -> float | None:
+        """Latest on-line time-to-failure forecast (``None`` when unknown)."""
+        if not self.live or self.latest_prediction is None:
+            return None
+        return self.latest_prediction.predicted_ttf_seconds
+
+    @property
+    def alarm(self) -> bool:
+        """Whether this incarnation's monitor has raised its rejuvenation alarm."""
+        return self.live and self.monitor is not None and self.monitor.alarm_raised
+
+    @property
+    def downtime_seconds(self) -> float:
+        return self.planned_downtime_seconds + self.unplanned_downtime_seconds
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the node's elapsed time it was up."""
+        total = self.uptime_seconds + self.downtime_seconds
+        if total <= 0:
+            return 0.0
+        return self.uptime_seconds / total
+
+    # -------------------------------------------------------------- lifecycle
+
+    def _start_incarnation(self) -> None:
+        incarnation_seed = self.seed + _INCARNATION_SEED_STRIDE * self._incarnation_index
+        self._incarnation_index += 1
+        # The node's own workload generator is never ticked (the cluster
+        # engine routes the fleet-level workload), so one browser suffices.
+        self.simulation = TestbedSimulation(
+            config=self.config,
+            workload_ebs=1,
+            injectors=list(self.injector_factory(incarnation_seed)),
+            seed=incarnation_seed,
+        )
+        trace = self.simulation.begin()
+        trace.metadata["node_id"] = self.node_id
+        trace.metadata["incarnation"] = self._incarnation_index - 1
+        self.incarnations.append(trace)
+        self.monitor = None
+        if self.predictor is not None:
+            self.monitor = OnlineAgingMonitor(
+                self.predictor,
+                alarm_threshold_seconds=self.alarm_threshold_seconds,
+                alarm_consecutive=self.alarm_consecutive,
+            )
+        self.latest_prediction = None
+        self.state = NodeState.ACTIVE
+
+    def advance_tick(self, tick_seconds: float) -> bool:
+        """Advance the node's lifecycle by one cluster tick.
+
+        Returns whether the node is live (and had its simulation's tick
+        begun) for this tick.  Down nodes sit out their remaining downtime
+        and rejoin automatically with a fresh incarnation.
+        """
+        if self.state is NodeState.RESTARTING:
+            if self._downtime_remaining > 0:
+                self._downtime_remaining -= tick_seconds
+                if self._downtime_planned:
+                    self.planned_downtime_seconds += tick_seconds
+                else:
+                    self.unplanned_downtime_seconds += tick_seconds
+                return False
+            self._start_incarnation()
+        elif self.state is NodeState.DRAINING:
+            if self._drain_remaining <= 0:
+                self._enter_restart(planned=True)
+                return self.advance_tick(tick_seconds)
+            self._drain_remaining -= tick_seconds
+
+        assert self.simulation is not None
+        self.simulation.begin_tick()
+        self.uptime_seconds += tick_seconds
+        return True
+
+    def begin_drain(self) -> None:
+        """Take the node out of rotation ahead of a planned restart."""
+        if self.state is not NodeState.ACTIVE:
+            raise RuntimeError(f"only an ACTIVE node can start draining (node is {self.state.value})")
+        self.state = NodeState.DRAINING
+        self._drain_remaining = self.drain_seconds
+
+    def _enter_restart(self, planned: bool) -> None:
+        self.state = NodeState.RESTARTING
+        self._downtime_planned = planned
+        if planned:
+            self.rejuvenations += 1
+            self._downtime_remaining = self.rejuvenation_downtime_seconds
+        else:
+            self.crashes += 1
+            self._downtime_remaining = self.crash_downtime_seconds
+        self.simulation = None
+        self.monitor = None
+        self.latest_prediction = None
+
+    # ------------------------------------------------------------------ serve
+
+    def serve(self, interaction: Interaction):
+        """Serve one routed request (propagates ``ServerCrash``)."""
+        assert self.simulation is not None
+        outcome = self.simulation.serve(interaction)
+        self.requests_served += 1
+        return outcome
+
+    def drive_injectors(self) -> None:
+        """Run this tick's fault injections (propagates ``ServerCrash``)."""
+        assert self.simulation is not None
+        self.simulation.drive_injectors(self.simulation.clock.now)
+
+    def record_crash(self, crash: ServerCrash) -> None:
+        """Mark the current incarnation as crashed and start crash recovery."""
+        assert self.simulation is not None
+        self.simulation.record_crash(self.simulation.clock.now, crash)
+        self._enter_restart(planned=False)
+
+    def end_tick(self, requests_completed: int, assigned_ebs: int) -> MonitoringSample | None:
+        """Close the node's tick: OS update, sampling and on-line prediction."""
+        assert self.simulation is not None
+        sample = self.simulation.end_tick(
+            self.simulation.clock.now,
+            requests_completed,
+            workload_ebs=assigned_ebs,
+        )
+        if sample is not None and self.monitor is not None:
+            self.latest_prediction = self.monitor.observe(sample)
+        return sample
+
+    def describe(self) -> str:
+        return (
+            f"node {self.node_id}: {self.state.value}, availability {self.availability:.4f}, "
+            f"{self.crashes} crashes, {self.rejuvenations} rejuvenations, "
+            f"{self.requests_served} requests served"
+        )

@@ -1,0 +1,149 @@
+"""Routing policies of the cluster load balancer.
+
+A routing policy picks, request by request, which node of the fleet serves
+the next TPC-W interaction.  Three strategies are provided:
+
+``RoundRobinRouting``
+    The classic baseline: cycle through the accepting nodes.
+``LeastConnectionsRouting``
+    Send the request to the node with the fewest open HTTP connections --
+    the standard reactive load-balancing rule.
+``AgingAwareRouting``
+    The policy this subsystem exists for: it reads each node's on-line
+    time-to-failure forecast (the paper's M5P predictor streamed through
+    :class:`repro.core.online.OnlineAgingMonitor`) and sheds traffic away
+    from nodes whose crash is forecast to be imminent.  Because the paper's
+    memory-leak injection is *workload coupled* (leaks ride on search-servlet
+    requests), shedding traffic genuinely slows a node's aging -- routing and
+    rejuvenation become two levers of the same proactive-recovery loop.
+
+Policies are deterministic: ``AgingAwareRouting`` uses smooth weighted
+round-robin (the nginx algorithm) instead of random weighted sampling, so a
+seeded cluster run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import ClusterNode
+
+__all__ = [
+    "RoutingPolicy",
+    "RoundRobinRouting",
+    "LeastConnectionsRouting",
+    "AgingAwareRouting",
+]
+
+
+class RoutingPolicy(abc.ABC):
+    """Chooses the node that serves the next request."""
+
+    @abc.abstractmethod
+    def route(self, candidates: Sequence["ClusterNode"]) -> "ClusterNode":
+        """Pick one node from the non-empty sequence of accepting nodes."""
+
+    def weights(self, candidates: Sequence["ClusterNode"]) -> list[float]:
+        """Relative traffic shares of the candidates (used for EB accounting).
+
+        The default is an even split; policies that bias traffic override
+        this so the fleet-level workload bookkeeping matches the routing.
+        """
+        return [1.0] * len(candidates)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Cycle through the accepting nodes in order."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def route(self, candidates: Sequence["ClusterNode"]) -> "ClusterNode":
+        if not candidates:
+            raise ValueError("cannot route a request with no accepting nodes")
+        choice = candidates[self._counter % len(candidates)]
+        self._counter += 1
+        return choice
+
+
+class LeastConnectionsRouting(RoutingPolicy):
+    """Send each request to the node with the fewest open HTTP connections."""
+
+    def route(self, candidates: Sequence["ClusterNode"]) -> "ClusterNode":
+        if not candidates:
+            raise ValueError("cannot route a request with no accepting nodes")
+        return min(candidates, key=lambda node: (node.open_connections, node.node_id))
+
+    def weights(self, candidates: Sequence["ClusterNode"]) -> list[float]:
+        return [1.0 / (1.0 + node.open_connections) for node in candidates]
+
+
+class AgingAwareRouting(RoutingPolicy):
+    """Shed traffic away from nodes that are forecast to crash soon.
+
+    Each accepting node gets a *health weight*: ``1`` while its predicted
+    time to failure stays at or above ``ttf_comfort_seconds``, decaying
+    linearly below that down to ``shed_floor`` (never zero -- a node that is
+    still up keeps serving a trickle, exactly like a real load balancer
+    draining by weight).  Requests are then spread with smooth weighted
+    round-robin, so a node at weight 0.25 receives a quarter of the traffic
+    of a healthy peer.
+
+    Parameters
+    ----------
+    ttf_comfort_seconds:
+        Predicted time to failure at or above which a node is considered
+        fully healthy.
+    shed_floor:
+        Minimum health weight of an alarmed node, in ``(0, 1]``.
+    """
+
+    def __init__(self, ttf_comfort_seconds: float = 900.0, shed_floor: float = 0.1) -> None:
+        if ttf_comfort_seconds <= 0:
+            raise ValueError("ttf_comfort_seconds must be positive")
+        if not 0.0 < shed_floor <= 1.0:
+            raise ValueError("shed_floor must be in (0, 1]")
+        self.ttf_comfort_seconds = float(ttf_comfort_seconds)
+        self.shed_floor = float(shed_floor)
+        self._credit: dict[int, float] = {}
+
+    def health_weight(self, node: "ClusterNode") -> float:
+        """Traffic weight of one node from its current TTF forecast."""
+        predicted = node.predicted_ttf_seconds
+        if predicted is None:
+            # No forecast yet (fresh incarnation or no predictor): healthy.
+            return 1.0
+        return max(self.shed_floor, min(1.0, predicted / self.ttf_comfort_seconds))
+
+    def weights(self, candidates: Sequence["ClusterNode"]) -> list[float]:
+        return [self.health_weight(node) for node in candidates]
+
+    def route(self, candidates: Sequence["ClusterNode"]) -> "ClusterNode":
+        if not candidates:
+            raise ValueError("cannot route a request with no accepting nodes")
+        weights = self.weights(candidates)
+        total = sum(weights)
+        # Smooth weighted round-robin: accumulate credit, serve the largest,
+        # then charge it the round's total.  Deterministic and proportional.
+        best_index = 0
+        best_credit = float("-inf")
+        for index, (node, weight) in enumerate(zip(candidates, weights)):
+            credit = self._credit.get(node.node_id, 0.0) + weight
+            self._credit[node.node_id] = credit
+            if credit > best_credit:
+                best_credit = credit
+                best_index = index
+        chosen = candidates[best_index]
+        self._credit[chosen.node_id] = self._credit[chosen.node_id] - total
+        return chosen
+
+    def describe(self) -> str:
+        return (
+            f"AgingAwareRouting(comfort {self.ttf_comfort_seconds:.0f}s, "
+            f"floor {self.shed_floor:.2f})"
+        )

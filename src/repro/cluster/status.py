@@ -1,0 +1,167 @@
+"""Fleet-level status aggregation: capacity, availability and outage accounting.
+
+``FleetStatus`` is the cluster's accountant: the engine reports every tick's
+serving capacity and request counts, and the aggregator folds them into the
+quantities a service-status dashboard would show -- capacity-weighted
+availability, full-outage and degraded-capacity seconds, the worst observed
+capacity, and request success rates.  ``outcome()`` freezes everything into a
+:class:`ClusterOutcome`, the fleet-level analogue of the single-server
+:class:`repro.rejuvenation.simulator.RejuvenationOutcome`.
+
+Availability here is *capacity weighted*: a 3-node fleet running 2 nodes for
+an hour banked 2/3 of an hour of availability.  This is the natural extension
+of the single-server uptime fraction and makes "one node restarting" visibly
+cheaper than "everything restarting at once" -- the whole argument for
+coordinated rolling rejuvenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import ClusterNode
+
+__all__ = ["NodeOutcome", "ClusterOutcome", "FleetStatus"]
+
+
+@dataclass(frozen=True)
+class NodeOutcome:
+    """Per-node summary of a cluster run."""
+
+    node_id: int
+    uptime_seconds: float
+    planned_downtime_seconds: float
+    unplanned_downtime_seconds: float
+    crashes: int
+    rejuvenations: int
+    requests_served: int
+    availability: float
+
+
+@dataclass(frozen=True)
+class ClusterOutcome:
+    """Aggregate result of operating one cluster configuration for a horizon."""
+
+    routing_description: str
+    coordinator_description: str
+    num_nodes: int
+    horizon_seconds: float
+    capacity_node_seconds: float
+    full_outage_seconds: float
+    degraded_seconds: float
+    min_active_nodes: int
+    served_requests: int
+    dropped_requests: int
+    crashes: int
+    rejuvenations: int
+    planned_downtime_seconds: float
+    unplanned_downtime_seconds: float
+    per_node: tuple[NodeOutcome, ...]
+
+    @property
+    def availability(self) -> float:
+        """Capacity-weighted fleet availability over the horizon."""
+        total = self.num_nodes * self.horizon_seconds
+        if total <= 0:
+            return 0.0
+        return self.capacity_node_seconds / total
+
+    @property
+    def request_success_rate(self) -> float:
+        """Fraction of issued requests that some node actually served."""
+        total = self.served_requests + self.dropped_requests
+        if total <= 0:
+            return 1.0
+        return self.served_requests / total
+
+    @property
+    def downtime_seconds(self) -> float:
+        """Summed node downtime (planned plus unplanned) across the fleet."""
+        return self.planned_downtime_seconds + self.unplanned_downtime_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.coordinator_description} + {self.routing_description}: "
+            f"availability {self.availability:.4f}, "
+            f"{self.crashes} crashes, {self.rejuvenations} rejuvenations, "
+            f"full outage {self.full_outage_seconds:.0f}s, "
+            f"degraded {self.degraded_seconds / 60.0:.1f} min, "
+            f"min active {self.min_active_nodes}/{self.num_nodes}, "
+            f"served {self.request_success_rate:.2%} of requests"
+        )
+
+
+class FleetStatus:
+    """Tick-by-tick accumulator behind :class:`ClusterOutcome`."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.num_nodes = num_nodes
+        self.horizon_seconds = 0.0
+        self.capacity_node_seconds = 0.0
+        self.full_outage_seconds = 0.0
+        self.degraded_seconds = 0.0
+        self.min_active_nodes = num_nodes
+        self.served_requests = 0
+        self.dropped_requests = 0
+
+    def record_tick(
+        self,
+        tick_seconds: float,
+        active_nodes: int,
+        served: int,
+        dropped: int,
+    ) -> None:
+        """Fold one cluster tick into the aggregates."""
+        if not 0 <= active_nodes <= self.num_nodes:
+            raise ValueError(f"active_nodes must be within [0, {self.num_nodes}]")
+        self.horizon_seconds += tick_seconds
+        self.capacity_node_seconds += active_nodes * tick_seconds
+        if active_nodes == 0:
+            self.full_outage_seconds += tick_seconds
+        elif active_nodes < self.num_nodes:
+            self.degraded_seconds += tick_seconds
+        self.min_active_nodes = min(self.min_active_nodes, active_nodes)
+        self.served_requests += served
+        self.dropped_requests += dropped
+
+    def outcome(
+        self,
+        nodes: Sequence["ClusterNode"],
+        routing_description: str,
+        coordinator_description: str,
+    ) -> ClusterOutcome:
+        """Freeze the aggregates (plus per-node accounting) into an outcome."""
+        per_node = tuple(
+            NodeOutcome(
+                node_id=node.node_id,
+                uptime_seconds=node.uptime_seconds,
+                planned_downtime_seconds=node.planned_downtime_seconds,
+                unplanned_downtime_seconds=node.unplanned_downtime_seconds,
+                crashes=node.crashes,
+                rejuvenations=node.rejuvenations,
+                requests_served=node.requests_served,
+                availability=node.availability,
+            )
+            for node in nodes
+        )
+        return ClusterOutcome(
+            routing_description=routing_description,
+            coordinator_description=coordinator_description,
+            num_nodes=self.num_nodes,
+            horizon_seconds=self.horizon_seconds,
+            capacity_node_seconds=self.capacity_node_seconds,
+            full_outage_seconds=self.full_outage_seconds,
+            degraded_seconds=self.degraded_seconds,
+            min_active_nodes=self.min_active_nodes,
+            served_requests=self.served_requests,
+            dropped_requests=self.dropped_requests,
+            crashes=sum(node.crashes for node in nodes),
+            rejuvenations=sum(node.rejuvenations for node in nodes),
+            planned_downtime_seconds=sum(node.planned_downtime_seconds for node in nodes),
+            unplanned_downtime_seconds=sum(node.unplanned_downtime_seconds for node in nodes),
+            per_node=per_node,
+        )

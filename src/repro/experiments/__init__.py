@@ -13,7 +13,10 @@ run the test scenario and score it with the paper's accuracy measures:
 * :mod:`repro.experiments.figures` -- the data series behind the two
   motivating figures (Figures 1 and 2),
 * :mod:`repro.experiments.ablations` -- reproduction-specific ablations
-  (sliding-window length, derived variables, smoothing, security margin).
+  (sliding-window length, derived variables, smoothing, security margin),
+* :mod:`repro.experiments.cluster` -- the fleet-scale extension: coordinated
+  rolling predictive rejuvenation of a load-balanced cluster versus the
+  no-rejuvenation and uncoordinated time-based baselines.
 
 ``repro.experiments.scenarios`` holds the shared scenario definitions and
 ``repro.experiments.runner`` the trace-generation helpers they build on.
@@ -24,6 +27,12 @@ from repro.experiments.ablations import (
     run_security_margin_sweep,
     run_smoothing_ablation,
     run_window_sweep,
+)
+from repro.experiments.cluster import (
+    ClusterExperimentResult,
+    run_cluster_experiment,
+    run_cluster_policy,
+    train_cluster_predictor,
 )
 from repro.experiments.exp41 import Experiment41Result, run_experiment_41
 from repro.experiments.exp42 import Experiment42Result, run_experiment_42
@@ -37,9 +46,11 @@ from repro.experiments.runner import (
     run_thread_leak_trace,
     run_two_resource_trace,
 )
-from repro.experiments.scenarios import ExperimentScenarios
+from repro.experiments.scenarios import ClusterScenario, ExperimentScenarios
 
 __all__ = [
+    "ClusterExperimentResult",
+    "ClusterScenario",
     "Experiment41Result",
     "Experiment42Result",
     "Experiment43Result",
@@ -47,6 +58,8 @@ __all__ = [
     "ExperimentScenarios",
     "figure1_series",
     "figure2_series",
+    "run_cluster_experiment",
+    "run_cluster_policy",
     "run_derived_variable_ablation",
     "run_experiment_41",
     "run_experiment_42",
@@ -60,4 +73,5 @@ __all__ = [
     "run_thread_leak_trace",
     "run_two_resource_trace",
     "run_window_sweep",
+    "train_cluster_predictor",
 ]

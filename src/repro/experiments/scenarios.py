@@ -1,10 +1,15 @@
-"""Scenario parameters of the paper's four experiments.
+"""Scenario parameters of the paper's four experiments (and the cluster one).
 
 ``ExperimentScenarios`` centralises every number Section 4 states: training
 workloads, injection rates, phase lengths and test workloads.  A single
 ``scale`` knob lets callers shrink the testbed (heap, thread limit) for quick
 runs -- tests and examples use a scaled testbed, the benchmarks run the
 paper-scale configuration.
+
+``ClusterScenario`` plays the same role for the clustered deployment of
+:mod:`repro.cluster`: fleet size, fleet-level workload, injection rate,
+per-node alarm configuration and the restart cost model shared by all
+compared policies.
 """
 
 from __future__ import annotations
@@ -12,8 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.testbed.config import TestbedConfig
+from repro.testbed.faults.injector import FaultInjector
+from repro.testbed.faults.memory_leak import MemoryLeakInjector
 
-__all__ = ["ExperimentScenarios"]
+__all__ = ["ExperimentScenarios", "ClusterScenario"]
 
 
 @dataclass
@@ -91,3 +98,127 @@ class ExperimentScenarios:
     def seed_for(self, run_index: int) -> int:
         """Deterministic per-run seed."""
         return self.base_seed + 97 * run_index
+
+
+@dataclass
+class ClusterScenario:
+    """Configuration of the clustered-deployment experiment.
+
+    The scenario describes one fleet (size, total workload, injection rate),
+    the historical failure runs the predictor trains on, and the restart cost
+    model every compared rejuvenation strategy shares.  Defaults are the
+    paper-scale configuration (1 GB heap, 100 emulated browsers per node at
+    nominal capacity, the paper's ``N = 30`` leak); :meth:`fast` shrinks the
+    testbed so the whole three-policy comparison runs in seconds.
+
+    Attributes
+    ----------
+    config:
+        Testbed configuration shared by every node and every training run.
+    num_nodes / total_ebs:
+        Fleet size and the fleet-level emulated-browser population the load
+        balancer spreads across the accepting nodes.
+    memory_n:
+        Memory-leak injection parameter ``N`` of every node (and of the
+        training runs).
+    horizon_seconds:
+        Operation time of one cluster run.
+    training_workloads / training_seeds / training_max_seconds:
+        Per-node workloads and seeds of the single-server failure runs used
+        to fit the predictor.  The workloads should bracket what a node can
+        see in the fleet: its nominal share and the inflated share it
+        carries while a peer is restarting.
+    cluster_seed:
+        Master seed of the cluster runs (workload stream and node seeds).
+    alarm_threshold_seconds / alarm_consecutive:
+        Per-node on-line alarm: predicted time to failure at or below the
+        threshold for this many consecutive marks.
+    ttf_comfort_seconds:
+        Aging-aware routing parameter: forecast at or above this is healthy.
+    drain_seconds / rejuvenation_downtime_seconds / crash_downtime_seconds:
+        Restart cost model (identical for every policy).
+    max_concurrent_restarts / min_active_fraction:
+        Rolling-coordination bounds: concurrent restart budget and the
+        fraction of the fleet that must stay in service.
+    time_based_interval_seconds:
+        Restart interval of the uncoordinated time-based baseline; ``None``
+        derives it from the training runs as half the smallest observed time
+        to crash (the classic two-fold safety factor an operator without a
+        predictor would apply).
+    """
+
+    config: TestbedConfig = field(default_factory=TestbedConfig)
+    num_nodes: int = 3
+    total_ebs: int = 300
+    memory_n: int = 30
+    horizon_seconds: float = 12 * 3600.0
+    training_workloads: tuple[int, ...] = (100, 150)
+    training_seeds: tuple[int, ...] = (1, 2)
+    training_max_seconds: float = 24 * 3600.0
+    cluster_seed: int = 7
+    alarm_threshold_seconds: float = 600.0
+    alarm_consecutive: int = 2
+    ttf_comfort_seconds: float = 1200.0
+    drain_seconds: float = 30.0
+    rejuvenation_downtime_seconds: float = 120.0
+    crash_downtime_seconds: float = 900.0
+    max_concurrent_restarts: int = 1
+    min_active_fraction: float = 0.5
+    time_based_interval_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        if self.total_ebs < self.num_nodes:
+            raise ValueError("total_ebs must provide at least one browser per node")
+        if self.horizon_seconds <= 0:
+            raise ValueError("horizon_seconds must be positive")
+        if not self.training_workloads or not self.training_seeds:
+            raise ValueError("the predictor needs at least one training workload and seed")
+
+    @classmethod
+    def fast(cls) -> "ClusterScenario":
+        """A scaled-down fleet for tests and quick examples.
+
+        Three nodes with 160 MB heaps and 40 emulated browsers each under an
+        aggressive ``N = 20`` leak: nodes crash after roughly 25 simulated
+        minutes, so a two-hour fleet comparison runs in a few wall-clock
+        seconds while exercising every cluster code path.
+        """
+        config = TestbedConfig(
+            heap_max_mb=160.0,
+            young_capacity_mb=16.0,
+            old_initial_mb=48.0,
+            old_resize_step_mb=32.0,
+            perm_mb=16.0,
+            max_threads=96,
+            base_worker_threads=16,
+        )
+        return cls(
+            config=config,
+            num_nodes=3,
+            total_ebs=120,
+            memory_n=20,
+            horizon_seconds=7200.0,
+            training_workloads=(40, 60),
+            training_seeds=(1, 2),
+            training_max_seconds=14_400.0,
+            alarm_threshold_seconds=550.0,
+            alarm_consecutive=2,
+            ttf_comfort_seconds=900.0,
+            drain_seconds=15.0,
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "ClusterScenario":
+        """The fleet closest to the paper's testbed: 1 GB heap, ``N = 30``."""
+        return cls()
+
+    @property
+    def nominal_node_ebs(self) -> int:
+        """Per-node workload share when the whole fleet is serving."""
+        return self.total_ebs // self.num_nodes
+
+    def injector_factory(self, seed: int) -> list[FaultInjector]:
+        """Fresh memory-leak injectors for one node incarnation."""
+        return [MemoryLeakInjector(n=self.memory_n, seed=seed)]

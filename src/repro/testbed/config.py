@@ -94,6 +94,9 @@ class TestbedConfig:
         Length of one simulation step.
     """
 
+    #: Tell pytest not to collect this dataclass (its name matches ``Test*``).
+    __test__ = False
+
     heap_max_mb: float = 1024.0
     young_capacity_mb: float = 64.0
     old_initial_mb: float = 256.0

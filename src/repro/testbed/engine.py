@@ -10,6 +10,16 @@ Mid-run changes -- the essence of the dynamic scenarios of Experiments 4.2
 and 4.4, where injection rates change every 20 or 30 minutes -- are expressed
 as :class:`ScheduledAction` objects: a time plus a callable that receives the
 simulation.
+
+Besides the self-driven :meth:`TestbedSimulation.run` loop, the simulation
+exposes a step-wise API (:meth:`~TestbedSimulation.begin`,
+:meth:`~TestbedSimulation.begin_tick`, :meth:`~TestbedSimulation.serve`,
+:meth:`~TestbedSimulation.drive_injectors`,
+:meth:`~TestbedSimulation.end_tick`,
+:meth:`~TestbedSimulation.record_crash`) so an external driver -- the
+clustered deployment of :mod:`repro.cluster` -- can advance many nodes on a
+shared clock and route requests from a fleet-level load balancer instead of
+the node's own workload generator.
 """
 
 from __future__ import annotations
@@ -19,15 +29,16 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.testbed.appserver.thread_pool import ThreadPool
-from repro.testbed.appserver.tomcat import TomcatServer
+from repro.testbed.appserver.tomcat import RequestOutcome, TomcatServer
 from repro.testbed.clock import SimulationClock
 from repro.testbed.config import TestbedConfig
 from repro.testbed.database.mysql import MySQLServer
 from repro.testbed.errors import ServerCrash
 from repro.testbed.faults.injector import FaultInjector
 from repro.testbed.jvm.heap import GenerationalHeap
-from repro.testbed.monitoring.collector import MetricsCollector, Trace
+from repro.testbed.monitoring.collector import MetricsCollector, MonitoringSample, Trace
 from repro.testbed.osmodel.system import OperatingSystem
+from repro.testbed.tpcw.interactions import Interaction
 from repro.testbed.tpcw.workload import WorkloadGenerator, WorkloadMix
 
 __all__ = ["ScheduledAction", "TestbedSimulation"]
@@ -67,6 +78,9 @@ class TestbedSimulation:
         Master seed; the workload generator derives its own stream from it so
         two simulations with the same seed produce identical traces.
     """
+
+    #: Tell pytest not to collect this class (its name matches ``Test*``).
+    __test__ = False
 
     def __init__(
         self,
@@ -112,6 +126,7 @@ class TestbedSimulation:
         self._schedule = sorted(schedule, key=lambda item: item.time_seconds)
         self._next_scheduled = 0
         self._finished = False
+        self._trace: Trace | None = None
 
     # ------------------------------------------------------------------- run
 
@@ -124,50 +139,15 @@ class TestbedSimulation:
         """
         if max_seconds <= 0:
             raise ValueError("max_seconds must be positive")
-        if self._finished:
-            raise RuntimeError("this simulation has already been run; create a new one")
-        self._finished = True
-
-        trace = Trace(
-            workload_ebs=self.workload.num_browsers,
-            metadata={
-                "seed": self.seed,
-                "injectors": [injector.describe() for injector in self.injectors],
-                "schedule": [item.label or f"action@{item.time_seconds:.0f}s" for item in self._schedule],
-                "mix": self.workload.mix.value,
-            },
-        )
-
-        while self.clock.now < max_seconds:
-            now = self.clock.advance()
-            self.heap.set_time(now)
-            self._apply_scheduled_actions(now)
-            self.server.begin_tick()
-            self.database.begin_tick()
+        trace = self.begin()
+        while self.clock.now < max_seconds and not trace.crashed:
+            now = self.begin_tick()
             try:
                 requests_this_tick = self._run_one_tick(now)
             except ServerCrash as crash:
-                trace.crashed = True
-                trace.crash_time_seconds = now
-                trace.crash_resource = crash.resource
-                trace.metadata["crash_message"] = str(crash)
+                self.record_crash(now, crash)
                 break
-            self.operating_system.update(
-                self.config.tick_seconds,
-                tomcat_footprint_mb=self.server.memory_footprint_mb(),
-                busy_threads=self.thread_pool.busy_workers + 1,
-                requests_completed=requests_this_tick,
-            )
-            if self.collector.due(now):
-                trace.samples.append(
-                    self.collector.collect(
-                        now,
-                        server=self.server,
-                        operating_system=self.operating_system,
-                        database=self.database,
-                        workload_ebs=self.workload.num_browsers,
-                    )
-                )
+            self.end_tick(now, requests_this_tick)
         return trace
 
     def _run_one_tick(self, now: float) -> int:
@@ -178,11 +158,102 @@ class TestbedSimulation:
         """
         issued = self.workload.tick(self.config.tick_seconds)
         for browser, interaction in issued:
-            outcome = self.server.handle_request(interaction)
+            outcome = self.serve(interaction)
             browser.start_request(outcome.response_time_s)
+        self.drive_injectors(now)
+        return len(issued)
+
+    # --------------------------------------------------- step-wise (cluster)
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the (started) simulation has recorded its crash."""
+        return self._trace is not None and self._trace.crashed
+
+    @property
+    def trace(self) -> Trace:
+        """The live trace of a started simulation."""
+        if self._trace is None:
+            raise RuntimeError("the simulation has not been started; call begin() or run()")
+        return self._trace
+
+    def begin(self) -> Trace:
+        """Mark the simulation as started and return its (live) trace.
+
+        External drivers call this once, then advance the simulation with
+        :meth:`begin_tick` / :meth:`serve` / :meth:`drive_injectors` /
+        :meth:`end_tick`; :meth:`run` uses the same primitives internally.
+        """
+        if self._finished:
+            raise RuntimeError("this simulation has already been run; create a new one")
+        self._finished = True
+        self._trace = Trace(
+            workload_ebs=self.workload.num_browsers,
+            metadata={
+                "seed": self.seed,
+                "injectors": [injector.describe() for injector in self.injectors],
+                "schedule": [item.label or f"action@{item.time_seconds:.0f}s" for item in self._schedule],
+                "mix": self.workload.mix.value,
+            },
+        )
+        return self._trace
+
+    def begin_tick(self) -> float:
+        """Advance the clock one tick and prepare every component; return now."""
+        now = self.clock.advance()
+        self.heap.set_time(now)
+        self._apply_scheduled_actions(now)
+        self.server.begin_tick()
+        self.database.begin_tick()
+        return now
+
+    def serve(self, interaction: Interaction) -> RequestOutcome:
+        """Serve one externally routed request (may raise ``ServerCrash``)."""
+        return self.server.handle_request(interaction)
+
+    def drive_injectors(self, now: float) -> None:
+        """Run the attached fault injectors (may raise ``ServerCrash``)."""
         for injector in self.injectors:
             injector.on_tick(now)
-        return len(issued)
+
+    def end_tick(
+        self,
+        now: float,
+        requests_completed: int,
+        workload_ebs: int | None = None,
+    ) -> MonitoringSample | None:
+        """Update the OS view and take a monitoring sample when one is due.
+
+        ``workload_ebs`` overrides the emulated-browser count recorded in the
+        sample; a cluster node passes its currently assigned share of the
+        fleet-level workload, a stand-alone run records its own generator's
+        population.
+        """
+        self.operating_system.update(
+            self.config.tick_seconds,
+            tomcat_footprint_mb=self.server.memory_footprint_mb(),
+            busy_threads=self.thread_pool.busy_workers + 1,
+            requests_completed=requests_completed,
+        )
+        if not self.collector.due(now):
+            return None
+        sample = self.collector.collect(
+            now,
+            server=self.server,
+            operating_system=self.operating_system,
+            database=self.database,
+            workload_ebs=workload_ebs if workload_ebs is not None else self.workload.num_browsers,
+        )
+        self.trace.samples.append(sample)
+        return sample
+
+    def record_crash(self, now: float, crash: ServerCrash) -> None:
+        """Record the end-of-run crash information on the trace."""
+        trace = self.trace
+        trace.crashed = True
+        trace.crash_time_seconds = now
+        trace.crash_resource = crash.resource
+        trace.metadata["crash_message"] = str(crash)
 
     def _apply_scheduled_actions(self, now: float) -> None:
         while self._next_scheduled < len(self._schedule) and self._schedule[self._next_scheduled].time_seconds <= now:

@@ -1,0 +1,34 @@
+"""Shared fixtures for the cluster subsystem tests.
+
+The expensive pieces -- the trained predictor and the full three-strategy
+experiment -- are module/session scoped so the suite pays for them once.
+"""
+
+import pytest
+
+from repro.experiments.cluster import (
+    generate_cluster_training_traces,
+    run_cluster_experiment,
+    train_cluster_predictor,
+)
+from repro.experiments.scenarios import ClusterScenario
+
+
+@pytest.fixture(scope="session")
+def fast_scenario() -> ClusterScenario:
+    return ClusterScenario.fast()
+
+
+@pytest.fixture(scope="session")
+def training_traces(fast_scenario):
+    return generate_cluster_training_traces(fast_scenario)
+
+
+@pytest.fixture(scope="session")
+def fitted_predictor(fast_scenario, training_traces):
+    return train_cluster_predictor(fast_scenario, training_traces)
+
+
+@pytest.fixture(scope="session")
+def experiment_result(fast_scenario, training_traces, fitted_predictor):
+    return run_cluster_experiment(fast_scenario, training=training_traces, predictor=fitted_predictor)

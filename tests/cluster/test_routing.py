@@ -1,0 +1,129 @@
+"""Tests for the routing policies and the load balancer's EB accounting."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster.balancer import LoadBalancer
+from repro.cluster.routing import (
+    AgingAwareRouting,
+    LeastConnectionsRouting,
+    RoundRobinRouting,
+)
+
+
+class StubNode:
+    """Duck-typed node: exactly the attributes the routing layer reads."""
+
+    def __init__(self, node_id, predicted_ttf_seconds=None, open_connections=0, accepting=True):
+        self.node_id = node_id
+        self.predicted_ttf_seconds = predicted_ttf_seconds
+        self.open_connections = open_connections
+        self.accepting = accepting
+
+
+def fleet(overrides=None):
+    nodes = [StubNode(0), StubNode(1), StubNode(2)]
+    for node_id, attrs in (overrides or {}).items():
+        for name, value in attrs.items():
+            setattr(nodes[node_id], name, value)
+    return nodes
+
+
+class TestRoundRobin:
+    def test_cycles_evenly(self):
+        policy = RoundRobinRouting()
+        nodes = fleet()
+        counts = Counter(policy.route(nodes).node_id for _ in range(300))
+        assert counts == {0: 100, 1: 100, 2: 100}
+
+    def test_adapts_to_membership_changes(self):
+        policy = RoundRobinRouting()
+        nodes = fleet()
+        policy.route(nodes)
+        survivors = nodes[:2]
+        counts = Counter(policy.route(survivors).node_id for _ in range(100))
+        assert set(counts) == {0, 1}
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinRouting().route([])
+
+
+class TestLeastConnections:
+    def test_picks_least_loaded(self):
+        nodes = fleet({0: {"open_connections": 9}, 1: {"open_connections": 2}, 2: {"open_connections": 5}})
+        assert LeastConnectionsRouting().route(nodes).node_id == 1
+
+    def test_ties_break_by_node_id(self):
+        nodes = fleet()
+        assert LeastConnectionsRouting().route(nodes).node_id == 0
+
+
+class TestAgingAware:
+    def test_healthy_fleet_splits_evenly(self):
+        policy = AgingAwareRouting(ttf_comfort_seconds=900.0)
+        nodes = fleet()
+        counts = Counter(policy.route(nodes).node_id for _ in range(300))
+        assert counts == {0: 100, 1: 100, 2: 100}
+
+    def test_sheds_traffic_from_aging_node(self):
+        policy = AgingAwareRouting(ttf_comfort_seconds=900.0, shed_floor=0.1)
+        nodes = fleet({1: {"predicted_ttf_seconds": 90.0}})  # weight 0.1
+        counts = Counter(policy.route(nodes).node_id for _ in range(420))
+        # The aging node gets ~0.1/2.1 of the traffic, the healthy ones ~1/2.1.
+        assert counts[1] == pytest.approx(420 * 0.1 / 2.1, abs=3)
+        assert counts[0] == pytest.approx(420 / 2.1, abs=3)
+        assert counts[0] + counts[1] + counts[2] == 420
+
+    def test_never_starves_an_alarmed_node_completely(self):
+        policy = AgingAwareRouting(ttf_comfort_seconds=900.0, shed_floor=0.1)
+        nodes = fleet({2: {"predicted_ttf_seconds": 0.0}})
+        counts = Counter(policy.route(nodes).node_id for _ in range(200))
+        assert counts[2] > 0
+
+    def test_missing_forecast_counts_as_healthy(self):
+        policy = AgingAwareRouting()
+        assert policy.health_weight(StubNode(0, predicted_ttf_seconds=None)) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgingAwareRouting(ttf_comfort_seconds=0.0)
+        with pytest.raises(ValueError):
+            AgingAwareRouting(shed_floor=0.0)
+        with pytest.raises(ValueError):
+            AgingAwareRouting(shed_floor=1.5)
+
+
+class TestLoadBalancerAllocations:
+    def test_even_allocation_sums_to_total(self):
+        balancer = LoadBalancer(RoundRobinRouting())
+        shares = balancer.allocations(fleet(), total_ebs=100)
+        assert sum(shares.values()) == 100
+        assert all(share in (33, 34) for share in shares.values())
+
+    def test_non_accepting_nodes_get_zero(self):
+        balancer = LoadBalancer(RoundRobinRouting())
+        nodes = fleet({1: {"accepting": False}})
+        shares = balancer.allocations(nodes, total_ebs=120)
+        assert shares[1] == 0
+        assert shares[0] == shares[2] == 60
+
+    def test_weighted_allocation_follows_health(self):
+        balancer = LoadBalancer(AgingAwareRouting(ttf_comfort_seconds=900.0, shed_floor=0.1))
+        nodes = fleet({0: {"predicted_ttf_seconds": 90.0}})
+        shares = balancer.allocations(nodes, total_ebs=210)
+        assert sum(shares.values()) == 210
+        assert shares[0] < shares[1] == shares[2]
+
+    def test_full_outage_allocates_nothing_and_routes_none(self):
+        balancer = LoadBalancer(RoundRobinRouting())
+        nodes = fleet({0: {"accepting": False}, 1: {"accepting": False}, 2: {"accepting": False}})
+        assert balancer.allocations(nodes, total_ebs=50) == {0: 0, 1: 0, 2: 0}
+        assert balancer.route(nodes) is None
+
+    def test_route_skips_non_accepting(self):
+        balancer = LoadBalancer(RoundRobinRouting())
+        nodes = fleet({0: {"accepting": False}})
+        picks = {balancer.route(nodes).node_id for _ in range(10)}
+        assert picks == {1, 2}
