@@ -1,31 +1,125 @@
-"""Benchmark the clustered-deployment experiment (rolling rejuvenation)."""
+"""Benchmarks of the clustered deployment.
+
+Two families:
+
+* ``test_cluster_rolling_rejuvenation`` regenerates the three-strategy fleet
+  comparison at paper scale, parametrized over the scenario kind (memory,
+  threads, two-resource) so the BENCH json distinguishes the runs; node
+  count and fleet workload are recorded as ``extra_info``.
+* ``test_cluster_event_engine_speedup`` pits the event-driven engine against
+  the tick-everything per-second reference on a wide paper-scale fleet (the
+  regime the event scheduler exists for: many 1 GB-heap nodes, marks every
+  15 s, light per-node traffic) and asserts the >=5x wall-clock speedup with
+  identical seeded outcomes.
+"""
+
+import time
 
 import pytest
 
+from repro.cluster.engine import ClusterEngine, PerSecondClusterEngine
 from repro.experiments.cluster import run_cluster_experiment
-from repro.experiments.scenarios import ClusterScenario
+from repro.experiments.scenarios import CLUSTER_SCENARIO_KINDS, ClusterScenario
 
-from bench_util import print_comparison
+from bench_util import BENCH_SEED, print_comparison
+
+#: The wide paper-scale fleet of the engine speedup benchmark: 384 nodes on
+#: the paper's 1 GB-heap configuration under the two-resource injectors,
+#: carrying a light fleet-level workload for 30 simulated minutes -- the
+#: regime the tick-everything loop pays for every node every second while
+#: the event scheduler only touches nodes at marks, injector firings and
+#: request arrivals.
+_SPEEDUP_NODES = 384
+_SPEEDUP_EBS = 8
+_SPEEDUP_HORIZON_S = 1800.0
+_SPEEDUP_PAIRS = 3
 
 
-@pytest.fixture(scope="session")
-def cluster_scenario() -> ClusterScenario:
-    """The paper-scale fleet: three 1 GB-heap nodes, 100 EBs each, N=30."""
-    return ClusterScenario.paper_scale()
+@pytest.fixture(scope="session", params=CLUSTER_SCENARIO_KINDS)
+def cluster_scenario(request) -> ClusterScenario:
+    """The paper-scale fleet of one scenario kind (3 nodes, 1 GB heaps)."""
+    return ClusterScenario.paper_scale(kind=request.param)
 
 
 def test_cluster_rolling_rejuvenation(benchmark, cluster_scenario):
     """Regenerate the three-strategy fleet comparison at paper scale."""
+    benchmark.extra_info["scenario_kind"] = cluster_scenario.kind
+    benchmark.extra_info["num_nodes"] = cluster_scenario.num_nodes
+    benchmark.extra_info["total_ebs"] = cluster_scenario.total_ebs
     result = benchmark.pedantic(
         run_cluster_experiment, kwargs={"scenario": cluster_scenario}, iterations=1, rounds=1
     )
-    rows = []
+    rows = [("scenario kind / fleet", "-", f"{cluster_scenario.kind} / {cluster_scenario.num_nodes} nodes")]
     for name, outcome in result.outcomes().items():
         rows.append((f"{name} availability", "-", f"{outcome.availability:.4f}"))
         rows.append((f"{name} full outage", "-", f"{outcome.full_outage_seconds:.0f} s"))
         rows.append((f"{name} crashes / restarts", "-", f"{outcome.crashes} / {outcome.rejuvenations}"))
     rows.append(("time-based interval", "-", f"{result.time_based_interval_seconds:.0f} s"))
     rows.append(("rolling wins (higher avail., no outage)", "expected", str(result.rolling_wins())))
-    print_comparison("Cluster: coordinated rolling predictive rejuvenation", rows)
+    print_comparison(
+        f"Cluster ({cluster_scenario.kind}): coordinated rolling predictive rejuvenation", rows
+    )
 
     assert result.rolling_wins()
+
+
+def _build_speedup_fleet(engine_class):
+    scenario = ClusterScenario.paper_scale(kind="two_resource")
+    return engine_class(
+        num_nodes=_SPEEDUP_NODES,
+        config=scenario.config,
+        total_ebs=_SPEEDUP_EBS,
+        injector_factory=scenario.injector_factory,
+        seed=BENCH_SEED,
+    )
+
+
+def test_cluster_event_engine_speedup(benchmark):
+    """Event-driven engine >=5x faster than per-second, identical outcomes.
+
+    Reference and event-driven runs are interleaved in pairs and the median
+    per-pair ratio is asserted, so transient machine noise (which hits both
+    engines of a pair alike) cannot fake or mask the speedup.
+    """
+    ratios = []
+    reference_times = []
+    event_times = []
+    for _ in range(_SPEEDUP_PAIRS):
+        started = time.perf_counter()
+        reference_outcome = _build_speedup_fleet(PerSecondClusterEngine).run(_SPEEDUP_HORIZON_S)
+        reference_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        event_outcome = _build_speedup_fleet(ClusterEngine).run(_SPEEDUP_HORIZON_S)
+        event_seconds = time.perf_counter() - started
+        assert event_outcome == reference_outcome
+        reference_times.append(reference_seconds)
+        event_times.append(event_seconds)
+        ratios.append(reference_seconds / event_seconds)
+
+    # One extra event-engine round through the benchmark fixture so the
+    # BENCH json records the engine's own timing distribution.
+    benchmark.pedantic(
+        lambda: _build_speedup_fleet(ClusterEngine).run(_SPEEDUP_HORIZON_S),
+        iterations=1,
+        rounds=1,
+    )
+
+    speedup = sorted(ratios)[len(ratios) // 2]
+    benchmark.extra_info["scenario_kind"] = "two_resource"
+    benchmark.extra_info["num_nodes"] = _SPEEDUP_NODES
+    benchmark.extra_info["total_ebs"] = _SPEEDUP_EBS
+    benchmark.extra_info["per_second_engine_s"] = round(min(reference_times), 3)
+    benchmark.extra_info["event_engine_s"] = round(min(event_times), 3)
+    benchmark.extra_info["speedup_x"] = round(speedup, 2)
+    print_comparison(
+        "Cluster: event-driven engine vs per-second reference",
+        [
+            ("fleet", "-", f"{_SPEEDUP_NODES} nodes, {_SPEEDUP_EBS} EBs, {_SPEEDUP_HORIZON_S:.0f}s"),
+            ("per-second engine (best pair)", "-", f"{min(reference_times):.2f} s"),
+            ("event-driven engine (best pair)", "-", f"{min(event_times):.2f} s"),
+            ("speedup (median of pairs)", ">= 5x", f"{speedup:.1f}x"),
+            ("per-pair ratios", "-", ", ".join(f"{r:.1f}x" for r in ratios)),
+        ],
+    )
+
+    assert speedup >= 5.0

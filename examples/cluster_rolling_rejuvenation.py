@@ -16,19 +16,37 @@ compares three ways of operating it on the same seeded scenario:
    nodes are drained and restarted one at a time under a minimum-capacity
    floor.
 
-Run it with::
+The fleet runs on the event-driven ``ClusterEngine``: nodes advance in
+exact batches between interesting events (requests, monitoring marks,
+injector firings, drains and restarts) instead of paying a Python loop over
+every node every simulated second.  Pick the fleet aging scenario with::
 
-    python examples/cluster_rolling_rejuvenation.py
+    python examples/cluster_rolling_rejuvenation.py [memory|threads|two_resource]
+
+``threads`` drives the Experiment 4.4 thread leak; ``two_resource`` injects
+memory and threads at once, so the forecast must catch whichever resource
+exhausts first.
 """
+
+import sys
 
 from repro.experiments import ClusterScenario, run_cluster_experiment
 
 
 def main() -> None:
-    scenario = ClusterScenario.fast()
+    kind = sys.argv[1] if len(sys.argv) > 1 else "memory"
+    scenario = ClusterScenario.fast(kind=kind)
+    faults = {
+        "memory": f"N={scenario.memory_n} memory leak",
+        "threads": f"M={scenario.thread_m}/T={scenario.thread_t}s thread leak",
+        "two_resource": (
+            f"N={scenario.memory_n} memory leak + "
+            f"M={scenario.thread_m}/T={scenario.thread_t}s thread leak"
+        ),
+    }[kind]
     print(
         f"Operating a {scenario.num_nodes}-node fleet ({scenario.total_ebs} emulated browsers, "
-        f"N={scenario.memory_n} memory leak) for {scenario.horizon_seconds / 3600.0:.0f} h "
+        f"{faults}) for {scenario.horizon_seconds / 3600.0:.0f} h "
         "under three strategies...\n"
     )
     result = run_cluster_experiment(scenario)

@@ -21,8 +21,13 @@ the reproduction to that setting:
     rejuvenation (drain, restart, rejoin, bounded concurrency, minimum
     capacity floor).
 ``repro.cluster.engine``
-    The shared-clock engine that wires all of it together and
-    redistributes the workload on every crash, drain and rejoin.
+    The engines that wire all of it together and redistribute the workload
+    on every crash, drain and rejoin: the event-driven ``ClusterEngine``
+    (default -- advances the fleet between interesting events) and the
+    tick-everything ``PerSecondClusterEngine`` reference it reproduces
+    bit-for-bit on seeded runs.
+``repro.cluster.timeline``
+    The exact tick arithmetic the event-driven machinery schedules with.
 ``repro.cluster.status``
     Capacity-weighted availability, outage and degraded-capacity
     accounting, per node and for the whole fleet.
@@ -35,7 +40,7 @@ from repro.cluster.coordinator import (
     RollingPredictiveRejuvenation,
     UncoordinatedTimeBasedRejuvenation,
 )
-from repro.cluster.engine import ClusterEngine
+from repro.cluster.engine import ClusterEngine, PerSecondClusterEngine
 from repro.cluster.node import ClusterNode, InjectorFactory, NodeState
 from repro.cluster.routing import (
     AgingAwareRouting,
@@ -58,6 +63,7 @@ __all__ = [
     "NoClusterRejuvenation",
     "NodeOutcome",
     "NodeState",
+    "PerSecondClusterEngine",
     "RollingPredictiveRejuvenation",
     "RoundRobinRouting",
     "RoutingPolicy",

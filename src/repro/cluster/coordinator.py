@@ -29,6 +29,7 @@ import math
 from typing import TYPE_CHECKING, Sequence
 
 from repro.cluster.node import NodeState
+from repro.cluster.timeline import first_tick_at_or_after
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.node import ClusterNode
@@ -42,11 +43,40 @@ __all__ = [
 
 
 class ClusterRejuvenationCoordinator(abc.ABC):
-    """Decides, tick by tick, which nodes start draining for a restart."""
+    """Decides, tick by tick, which nodes start draining for a restart.
+
+    The per-second engine calls :meth:`decide` every tick.  The event-driven
+    engine calls it only at ticks where its inputs can have changed -- a
+    lifecycle transition, a crash, or a fresh monitoring sample -- plus the
+    ticks :meth:`next_decision_tick` announces.  A coordinator is therefore
+    *event stable*: between such ticks its decision must stay empty.  All
+    three built-in coordinators are; a coordinator that reacts to the mere
+    passage of time (like the fixed-uptime baseline) must announce its next
+    trigger through :meth:`next_decision_tick`.
+    """
+
+    #: Whether :meth:`decide` reads per-node uptime clocks.  The event-driven
+    #: engine leaves untouched nodes' clocks unsynchronised between events,
+    #: so a coordinator reading them forces a fleet-wide synchronisation at
+    #: each decision tick.
+    reads_node_uptime: bool = False
 
     @abc.abstractmethod
     def decide(self, now_seconds: float, nodes: Sequence["ClusterNode"]) -> list["ClusterNode"]:
         """Return the nodes that should begin draining at ``now_seconds``."""
+
+    def next_decision_tick(
+        self, now_tick: int, tick_seconds: float, nodes: Sequence["ClusterNode"]
+    ) -> int | None:
+        """Earliest future tick at which the decision may change on its own.
+
+        ``None`` means the coordinator only reacts to fleet events (the
+        default).  Implementations must use the exact ``ticks x
+        tick_seconds`` product comparisons of the simulation clocks so the
+        announced tick matches the tick the per-second engine would trigger
+        on.
+        """
+        return None
 
     def describe(self) -> str:
         return type(self).__name__
@@ -67,6 +97,8 @@ class UncoordinatedTimeBasedRejuvenation(ClusterRejuvenationCoordinator):
     immediately, regardless of how many of its peers are already down.
     """
 
+    reads_node_uptime = True
+
     def __init__(self, interval_seconds: float) -> None:
         if interval_seconds <= 0:
             raise ValueError("interval_seconds must be positive")
@@ -78,6 +110,26 @@ class UncoordinatedTimeBasedRejuvenation(ClusterRejuvenationCoordinator):
             for node in nodes
             if node.state is NodeState.ACTIVE and node.current_uptime_seconds >= self.interval_seconds
         ]
+
+    def next_decision_tick(
+        self, now_tick: int, tick_seconds: float, nodes: Sequence["ClusterNode"]
+    ) -> int | None:
+        """The earliest tick at which an active node's uptime crosses the interval.
+
+        A node's uptime at cluster tick ``k`` is exactly
+        ``(k - incarnation_begun) * tick_seconds`` -- the same product its
+        simulation clock computes -- so the crossing tick found with those
+        comparisons is the tick :meth:`decide` first triggers on.
+        """
+        earliest: int | None = None
+        for node in nodes:
+            if node.state is not NodeState.ACTIVE:
+                continue
+            base = node.ev_incarnation_begun_tick
+            k = max(base + first_tick_at_or_after(self.interval_seconds, tick_seconds), now_tick + 1)
+            if earliest is None or k < earliest:
+                earliest = k
+        return earliest
 
     def describe(self) -> str:
         return f"UncoordinatedTimeBasedRejuvenation(every {self.interval_seconds:.0f}s of uptime)"

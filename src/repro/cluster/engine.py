@@ -1,15 +1,30 @@
 """The clustered deployment engine: N testbed nodes behind one load balancer.
 
-``ClusterEngine`` composes the pieces of this package into one runnable
-fleet: a shared TPC-W workload generator produces the request stream, the
-:class:`LoadBalancer` routes every request to an accepting
-:class:`ClusterNode`, each node advances its own
-:class:`repro.testbed.engine.TestbedSimulation` on the shared cluster clock,
-and a :class:`ClusterRejuvenationCoordinator` drains and restarts nodes
-according to its policy.  :class:`FleetStatus` folds every tick into the
-availability accounting.
+Two engines live here, sharing one construction path and one semantics:
 
-The engine redistributes workload automatically at every membership change:
+``ClusterEngine``
+    The default, *event-driven* engine.  Instead of paying a Python loop
+    over every browser and every node each simulated second, it advances the
+    fleet from interesting event to interesting event: browser request
+    arrivals (scheduled on a heap from each browser's think time),
+    monitoring marks, injector firings, lifecycle transitions (drain expiry,
+    restart completion) and the uptime crossings a time-based coordinator
+    announces.  Nodes untouched between events are fast-forwarded in exact
+    batches, so a 100-node fleet no longer costs 100x per-second work.
+
+``PerSecondClusterEngine``
+    The tick-everything reference implementation (the original engine).  It
+    advances every node and every browser every tick.  Seeded runs of the
+    two engines produce bit-for-bit identical :class:`ClusterOutcome`
+    aggregates -- the golden-trace regression test asserts exactly that --
+    which is what makes the event-driven engine a safe default.
+
+The bit-for-bit guarantee holds for the shipped tick size (1 second) and,
+more generally, whenever per-tick float accumulation equals its batched
+form; the event machinery replays every countdown with the exact helpers of
+:mod:`repro.cluster.timeline` rather than trusting algebraic shortcuts.
+
+Both engines redistribute workload automatically at every membership change:
 
 * when a node **crashes mid-request**, the failed request is rerouted to the
   surviving nodes on the spot and the balancer's allocations shift to them;
@@ -25,6 +40,7 @@ seconds are charged to the status aggregator.
 
 from __future__ import annotations
 
+import heapq
 import random
 from typing import Sequence
 
@@ -33,16 +49,21 @@ from repro.cluster.coordinator import ClusterRejuvenationCoordinator, NoClusterR
 from repro.cluster.node import ClusterNode, InjectorFactory
 from repro.cluster.routing import RoutingPolicy
 from repro.cluster.status import ClusterOutcome, FleetStatus
+from repro.cluster.timeline import first_tick_at_or_after, ticks_until_nonpositive
 from repro.core.predictor import AgingPredictor
 from repro.testbed.clock import SimulationClock
 from repro.testbed.config import TestbedConfig
 from repro.testbed.errors import ServerCrash
 from repro.testbed.tpcw.workload import WorkloadGenerator, WorkloadMix
 
-__all__ = ["ClusterEngine"]
+__all__ = ["ClusterEngine", "PerSecondClusterEngine"]
 
 #: Seed stride between the nodes of one cluster.
 _NODE_SEED_STRIDE = 104729
+
+#: Event kinds of the event-driven scheduler (heap tie-break order matters:
+#: transitions apply before marks and injector drives of the same tick).
+_TRANSITION, _MARK, _INJECTOR, _DECIDE = 0, 1, 2, 3
 
 
 class ClusterEngine:
@@ -53,7 +74,13 @@ class ClusterEngine:
     num_nodes:
         Fleet size.
     config:
-        Testbed configuration shared by every node (and every incarnation).
+        Testbed configuration shared by every node that has no entry in
+        ``node_configs`` (and the source of the cluster tick and the
+        workload think time).
+    node_configs:
+        Optional per-node testbed configurations for heterogeneous fleets
+        (mixed heap sizes, thread limits).  Must contain one entry per node
+        and agree with ``config`` on ``tick_seconds``.
     total_ebs:
         Fleet-level TPC-W emulated-browser population; the load balancer
         spreads it across the accepting nodes.
@@ -99,6 +126,7 @@ class ClusterEngine:
         dropped_request_penalty_s: float = 3.0,
         mix: WorkloadMix = WorkloadMix.SHOPPING,
         seed: int = 0,
+        node_configs: Sequence[TestbedConfig] | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("num_nodes must be at least 1")
@@ -107,6 +135,14 @@ class ClusterEngine:
         if dropped_request_penalty_s <= 0:
             raise ValueError("dropped_request_penalty_s must be positive")
         self.config = config if config is not None else TestbedConfig()
+        if node_configs is not None:
+            node_configs = list(node_configs)
+            if len(node_configs) != num_nodes:
+                raise ValueError(f"node_configs must provide one configuration per node ({num_nodes})")
+            for node_config in node_configs:
+                if node_config.tick_seconds != self.config.tick_seconds:
+                    raise ValueError("every node must share the cluster's tick_seconds")
+        self.node_configs = node_configs
         self.total_ebs = total_ebs
         self.seed = seed
         self.dropped_request_penalty_s = float(dropped_request_penalty_s)
@@ -124,7 +160,7 @@ class ClusterEngine:
         self.nodes: list[ClusterNode] = [
             ClusterNode(
                 node_id=node_id,
-                config=self.config,
+                config=node_configs[node_id] if node_configs is not None else self.config,
                 injector_factory=factory,
                 seed=seed + _NODE_SEED_STRIDE * (node_id + 1),
                 predictor=predictor,
@@ -141,6 +177,12 @@ class ClusterEngine:
         self.requests_rerouted = 0
         self._finished = False
 
+        # Event-driven scheduler state (populated by run()).
+        self._events: list[tuple[int, int, int]] = []
+        self._browser_fires: list[tuple[int, int]] = []
+        self._active_count = num_nodes
+        self._candidates: list[ClusterNode] | None = None
+
     # ------------------------------------------------------------------- run
 
     def run(self, max_seconds: float = 4 * 3600.0) -> ClusterOutcome:
@@ -150,12 +192,277 @@ class ClusterEngine:
         crashed nodes recover after their downtime and rejoin, so the run
         always covers the full horizon.  The engine is single-use.
         """
+        self._check_single_use(max_seconds)
+        tick = self.config.tick_seconds
+        final_tick = first_tick_at_or_after(max_seconds, tick)
+
+        for index, browser in enumerate(self.workload.browser_population()):
+            heapq.heappush(
+                self._browser_fires,
+                (ticks_until_nonpositive(browser.remaining_think_s, tick), index),
+            )
+        for node in self.nodes:
+            self._schedule_node_wakes(node, floor_tick=1)
+        hint = self.coordinator.next_decision_tick(0, tick, self.nodes)
+        if hint is not None:
+            # A hint at or before the current tick means "decide as soon as
+            # possible": clamp to the next tick (the reference engine's
+            # per-tick cadence) rather than scheduling an impossible wake.
+            heapq.heappush(self._events, (max(hint, 1), _DECIDE, -1))
+
+        current = 0
+        while current < final_tick:
+            heads = []
+            if self._browser_fires:
+                heads.append(self._browser_fires[0][0])
+            if self._events:
+                heads.append(self._events[0][0])
+            upcoming = min(heads) if heads else None
+            if upcoming is None or upcoming > final_tick:
+                self.status.record_quiet_span(final_tick - current, tick, self._active_count)
+                current = final_tick
+                break
+            if upcoming > current + 1:
+                self.status.record_quiet_span(upcoming - 1 - current, tick, self._active_count)
+            current = upcoming
+            self._process_event_tick(current)
+        if self.clock.ticks < final_tick:
+            self.clock.advance(final_tick - self.clock.ticks)
+        for node in self.nodes:
+            node.ev_flush(final_tick)
+        return self.outcome()
+
+    def _check_single_use(self, max_seconds: float) -> None:
         if max_seconds <= 0:
             raise ValueError("max_seconds must be positive")
         if self._finished:
             raise RuntimeError("this cluster engine has already been run; create a new one")
         self._finished = True
 
+    # --------------------------------------------------------- event plumbing
+
+    def _schedule_node_wakes(self, node: ClusterNode, floor_tick: int) -> None:
+        """Arm the mark and injector wake-ups of a node's current incarnation."""
+        mark = node.ev_next_mark_tick()
+        if mark is not None:
+            heapq.heappush(self._events, (max(mark, floor_tick), _MARK, node.node_id))
+        wake = node.ev_next_injector_wake(floor_tick)
+        if wake is not None:
+            heapq.heappush(self._events, (wake, _INJECTOR, node.node_id))
+
+    def _accepting_candidates(self) -> list[ClusterNode]:
+        if self._candidates is None:
+            self._candidates = [node for node in self.nodes if node.accepting]
+        return self._candidates
+
+    def _handle_crash(self, node: ClusterNode, crash: ServerCrash, current: int) -> None:
+        was_accepting = node.accepting
+        rejoin_tick = node.ev_record_crash(current, crash)
+        heapq.heappush(self._events, (rejoin_tick, _TRANSITION, node.node_id))
+        if was_accepting:
+            self._active_count -= 1
+        self._candidates = None
+
+    # ---------------------------------------------------------- event ticks
+
+    def _process_event_tick(self, current: int) -> None:
+        """Process one tick in exactly the reference engine's phase order.
+
+        Phases mirror ``PerSecondClusterEngine._run_one_tick``: lifecycle
+        transitions first (the reference advances every node before
+        routing), then request routing, then injector drives, then tick
+        finalisation (OS update, sampling, prediction), then the fleet
+        status record, then the coordinator's drain decisions.
+        """
+        tick = self.config.tick_seconds
+        self.clock.advance(current - self.clock.ticks)
+        now = self.clock.now
+        nodes = self.nodes
+        events = self._events
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        # The event heap orders by (tick, kind, node_id), so same-tick pops
+        # arrive grouped by kind with ascending node ids: the mark and
+        # injection lists below are sorted, with duplicates adjacent.
+        marks: list[int] = []
+        injections: list[int] = []
+        decide_needed = False
+
+        # -- lifecycle transitions and scheduled wake-ups
+        while events and events[0][0] == current:
+            _, kind, node_id = heappop(events)
+            if kind == _MARK:
+                if nodes[node_id].live and not (marks and marks[-1] == node_id):
+                    marks.append(node_id)
+                continue
+            if kind == _INJECTOR:
+                if nodes[node_id].live and not (injections and injections[-1] == node_id):
+                    injections.append(node_id)
+                continue
+            if kind == _DECIDE:
+                decide_needed = True
+                continue
+            node = nodes[node_id]
+            if node.ev_transition_tick != current:
+                continue  # superseded (e.g. a crash rescheduled the restart)
+            if node.ev_apply_transition(current):
+                # Restart complete: the node rejoins with a fresh incarnation.
+                self._active_count += 1
+                self._candidates = None
+                decide_needed = True
+                node.ev_sync_begin(current)
+                # A fresh thread-leak injector may fire on the rejoin tick
+                # itself; floor_tick=current lets that wake re-enter this
+                # very loop iteration.
+                self._schedule_node_wakes(node, floor_tick=current)
+            else:
+                # Drain expired: the node went down for its planned restart.
+                heappush(events, (node.ev_transition_tick, _TRANSITION, node_id))
+
+        # -- route this tick's requests, browser by browser
+        served = 0
+        dropped = 0
+        browser_fires = self._browser_fires
+        if browser_fires and browser_fires[0][0] == current:
+            if self.balancer.policy.reads_tick_state:
+                for node in self.nodes:
+                    if node.accepting:
+                        node.ev_serve_begin(current)
+            browsers = self.workload.browser_population()
+            policy = self.balancer.policy
+            penalty = self.dropped_request_penalty_s
+            while browser_fires and browser_fires[0][0] == current:
+                _, index = heapq.heappop(browser_fires)
+                browser = browsers[index]
+                interaction = self.workload.draw_interaction(browser)
+                response_time = penalty
+                while True:
+                    candidates = self._candidates
+                    if candidates is None:
+                        candidates = self._accepting_candidates()
+                    if not candidates:
+                        # Full outage: the request is lost and the browser backs off.
+                        dropped += 1
+                        browser.start_request(penalty)
+                        break
+                    target = policy.route(candidates)
+                    target.ev_serve_begin(current)
+                    try:
+                        outcome = target.serve(interaction)
+                    except ServerCrash as crash:
+                        # The node died under this request: take it out of
+                        # rotation and redistribute to the survivors.
+                        self._handle_crash(target, crash, current)
+                        self.requests_rerouted += 1
+                        decide_needed = True
+                        continue
+                    target.ev_note_request()
+                    browser.start_request(outcome.response_time_s)
+                    response_time = outcome.response_time_s
+                    served += 1
+                    break
+                think_time = browser.complete_request_and_rethink()
+                next_fire = (
+                    current
+                    + max(1, ticks_until_nonpositive(response_time, tick))
+                    + ticks_until_nonpositive(think_time, tick)
+                )
+                heapq.heappush(browser_fires, (next_fire, index))
+
+        # -- drive the scheduled injector events
+        if injections:
+            marked = set(marks)
+            for node_id in injections:
+                node = nodes[node_id]
+                if not node.live:
+                    continue  # crashed earlier this tick while serving
+                node.ev_sync_begin(current)
+                try:
+                    node.drive_injectors()
+                except ServerCrash as crash:
+                    self._handle_crash(node, crash, current)
+                    decide_needed = True
+                    continue
+                wake = node.ev_next_injector_wake(current + 1)
+                if wake is not None:
+                    heappush(events, (wake, _INJECTOR, node_id))
+                if node_id not in marked:
+                    # Close the tick now so the next mark stays on the fused
+                    # fast path (end_tick with zero further activity).
+                    node.ev_settle_open()
+
+        # -- monitoring marks: eager finalize (OS update, sample, prediction).
+        #    Every other begun tick settles lazily in the next fast-forward.
+        live_marks = [node_id for node_id in marks if nodes[node_id].live]
+        if live_marks:
+            if self.balancer.policy.reads_tick_state:
+                for node in nodes:
+                    if node.accepting:
+                        node.ev_serve_begin(current)
+            allocations = self.balancer.allocations(nodes, self.total_ebs)
+            for node_id in live_marks:
+                node = nodes[node_id]
+                sample = node.ev_mark(current, allocations.get(node_id, 0))
+                if sample is not None:
+                    decide_needed = True
+                    if tick == 1.0:
+                        # One-second ticks make the cadence exact in whole ticks.
+                        heappush(events, (current + node.ev_mark_interval_ticks, _MARK, node_id))
+                        continue
+                mark = node.ev_next_mark_tick()
+                if mark is not None:
+                    heappush(events, (max(mark, current + 1), _MARK, node_id))
+
+        # -- fleet accounting for this tick
+        self.status.record_tick(tick, self._active_count, served=served, dropped=dropped)
+
+        # -- coordinator decisions (the reference decides every tick; the
+        #    built-in coordinators only change their answer at these ticks)
+        if decide_needed:
+            if self.coordinator.reads_node_uptime:
+                for node in self.nodes:
+                    if node.live:
+                        node.ev_sync_begin(current)
+            for node in self.coordinator.decide(now, self.nodes):
+                drain_transition = node.ev_begin_drain(current)
+                heapq.heappush(self._events, (drain_transition, _TRANSITION, node.node_id))
+                self._active_count -= 1
+                self._candidates = None
+            hint = self.coordinator.next_decision_tick(current, tick, self.nodes)
+            if hint is not None:
+                # Same clamp as at initialisation: a stale or immediate hint
+                # degrades to deciding again next tick, never to a missed or
+                # impossible wake.
+                heapq.heappush(self._events, (max(hint, current + 1), _DECIDE, -1))
+
+    # --------------------------------------------------------------- results
+
+    def outcome(self) -> ClusterOutcome:
+        """Freeze the fleet accounting into a :class:`ClusterOutcome`."""
+        return self.status.outcome(
+            self.nodes,
+            routing_description=self.balancer.policy.describe(),
+            coordinator_description=self.coordinator.describe(),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{type(self).__name__}({len(self.nodes)} nodes, {self.total_ebs} EBs, "
+            f"{self.balancer.describe()}, {self.coordinator.describe()})"
+        )
+
+
+class PerSecondClusterEngine(ClusterEngine):
+    """The tick-everything reference engine.
+
+    Advances every node and ticks every browser each simulated second --
+    the original cluster loop, kept as the executable semantics the
+    event-driven engine is tested against (and as a fallback for custom
+    coordinators or injectors that violate the event-stability contract).
+    """
+
+    def run(self, max_seconds: float = 4 * 3600.0) -> ClusterOutcome:
+        self._check_single_use(max_seconds)
         tick = self.config.tick_seconds
         while self.clock.now < max_seconds:
             self.clock.advance()
@@ -217,19 +524,3 @@ class ClusterEngine:
                 requests_completed=routed.get(node.node_id, 0),
                 assigned_ebs=allocations.get(node.node_id, 0),
             )
-
-    # --------------------------------------------------------------- results
-
-    def outcome(self) -> ClusterOutcome:
-        """Freeze the fleet accounting into a :class:`ClusterOutcome`."""
-        return self.status.outcome(
-            self.nodes,
-            routing_description=self.balancer.policy.describe(),
-            coordinator_description=self.coordinator.describe(),
-        )
-
-    def describe(self) -> str:
-        return (
-            f"ClusterEngine({len(self.nodes)} nodes, {self.total_ebs} EBs, "
-            f"{self.balancer.describe()}, {self.coordinator.describe()})"
-        )

@@ -41,6 +41,14 @@ __all__ = [
 class RoutingPolicy(abc.ABC):
     """Chooses the node that serves the next request."""
 
+    #: Whether :meth:`route`/:meth:`weights` read per-tick node state (open
+    #: HTTP connections).  The event-driven engine keeps untouched nodes'
+    #: per-tick counters unsynchronised between events, so a policy that
+    #: reads them forces it to synchronise every accepting node on each
+    #: request tick (correct, but slower).  Policies that rely only on
+    #: membership and monitoring-mark state leave this ``False``.
+    reads_tick_state: bool = False
+
     @abc.abstractmethod
     def route(self, candidates: Sequence["ClusterNode"]) -> "ClusterNode":
         """Pick one node from the non-empty sequence of accepting nodes."""
@@ -73,6 +81,8 @@ class RoundRobinRouting(RoutingPolicy):
 
 class LeastConnectionsRouting(RoutingPolicy):
     """Send each request to the node with the fewest open HTTP connections."""
+
+    reads_tick_state = True
 
     def route(self, candidates: Sequence["ClusterNode"]) -> "ClusterNode":
         if not candidates:

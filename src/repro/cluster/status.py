@@ -128,6 +128,28 @@ class FleetStatus:
         self.served_requests += served
         self.dropped_requests += dropped
 
+    def record_quiet_span(self, ticks: int, tick_seconds: float, active_nodes: int) -> None:
+        """Fold ``ticks`` consecutive request-free ticks at constant capacity.
+
+        The event-driven engine batches the spans between interesting events
+        through here.  The arithmetic replays the per-tick accumulation so
+        the aggregates stay bit-for-bit identical to ``ticks`` calls of
+        :meth:`record_tick` with zero served and dropped requests.
+        """
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        if not 0 <= active_nodes <= self.num_nodes:
+            raise ValueError(f"active_nodes must be within [0, {self.num_nodes}]")
+        for _ in range(ticks):
+            self.horizon_seconds += tick_seconds
+            self.capacity_node_seconds += active_nodes * tick_seconds
+            if active_nodes == 0:
+                self.full_outage_seconds += tick_seconds
+            elif active_nodes < self.num_nodes:
+                self.degraded_seconds += tick_seconds
+        if ticks > 0:
+            self.min_active_nodes = min(self.min_active_nodes, active_nodes)
+
     def outcome(
         self,
         nodes: Sequence["ClusterNode"],

@@ -38,7 +38,7 @@ from repro.cluster.engine import ClusterEngine
 from repro.cluster.routing import AgingAwareRouting, RoutingPolicy
 from repro.cluster.status import ClusterOutcome
 from repro.core.predictor import AgingPredictor
-from repro.experiments.runner import run_memory_leak_trace
+from repro.experiments.runner import run_memory_leak_trace, run_thread_leak_trace, run_two_resource_trace
 from repro.experiments.scenarios import ClusterScenario
 from repro.testbed.monitoring.collector import Trace
 
@@ -84,24 +84,58 @@ class ClusterExperimentResult:
 
 
 def generate_cluster_training_traces(scenario: ClusterScenario) -> list[Trace]:
-    """Single-server failure runs bracketing the per-node fleet workloads."""
+    """Single-server failure runs bracketing the per-node fleet workloads.
+
+    The training mix follows the scenario kind: memory fleets train on
+    memory-leak crashes, thread fleets on thread-exhaustion crashes, and
+    two-resource fleets on memory-only, thread-only *and* combined runs --
+    mirroring Experiment 4.4, and necessary for the same reason: a model
+    that has only ever seen one resource elevated at a time wildly
+    underestimates the time to failure when both climb together, and an
+    underestimating monitor rejuvenates the fleet into the ground.
+    Heterogeneous fleets repeat the runs for every distinct node
+    configuration.
+    """
     traces: list[Trace] = []
-    for workload in scenario.training_workloads:
-        for seed in scenario.training_seeds:
-            traces.append(
-                run_memory_leak_trace(
-                    scenario.config,
-                    workload,
-                    n=scenario.memory_n,
-                    seed=seed,
-                    max_seconds=scenario.training_max_seconds,
-                )
-            )
+    for config in scenario.training_configs():
+        for workload in scenario.training_workloads:
+            for seed in scenario.training_seeds:
+                if scenario.kind != "threads":
+                    traces.append(
+                        run_memory_leak_trace(
+                            config,
+                            workload,
+                            n=scenario.memory_n,
+                            seed=seed,
+                            max_seconds=scenario.training_max_seconds,
+                        )
+                    )
+                if scenario.kind != "memory":
+                    traces.append(
+                        run_thread_leak_trace(
+                            config,
+                            workload,
+                            m=scenario.thread_m,
+                            t=scenario.thread_t,
+                            seed=seed,
+                            max_seconds=scenario.training_max_seconds,
+                        )
+                    )
+                if scenario.kind == "two_resource":
+                    traces.append(
+                        run_two_resource_trace(
+                            config,
+                            workload,
+                            phases=[(0.0, scenario.memory_n, scenario.thread_m, scenario.thread_t)],
+                            seed=seed,
+                            max_seconds=scenario.training_max_seconds,
+                        )
+                    )
     crashless = [trace for trace in traces if not trace.crashed]
     if crashless:
         raise RuntimeError(
             f"{len(crashless)} training run(s) did not crash within "
-            f"{scenario.training_max_seconds:.0f}s; increase memory_n or the time limit"
+            f"{scenario.training_max_seconds:.0f}s; increase the injection rates or the time limit"
         )
     return traces
 
@@ -140,6 +174,7 @@ def run_cluster_policy(
     engine = ClusterEngine(
         num_nodes=scenario.num_nodes,
         config=scenario.config,
+        node_configs=scenario.node_configs,
         total_ebs=scenario.total_ebs,
         injector_factory=scenario.injector_factory,
         routing_policy=routing_policy,

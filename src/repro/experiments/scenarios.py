@@ -14,13 +14,20 @@ compared policies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.testbed.config import TestbedConfig
 from repro.testbed.faults.injector import FaultInjector
 from repro.testbed.faults.memory_leak import MemoryLeakInjector
+from repro.testbed.faults.thread_leak import ThreadLeakInjector
 
-__all__ = ["ExperimentScenarios", "ClusterScenario"]
+__all__ = ["ExperimentScenarios", "ClusterScenario", "CLUSTER_SCENARIO_KINDS"]
+
+#: The fleet aging scenarios the cluster experiment can drive: the paper's
+#: workload-coupled memory leak, the workload-independent thread leak of
+#: Experiment 4.4, and both at once (the two-resource scenario, where the
+#: forecast must pick whichever resource exhausts first).
+CLUSTER_SCENARIO_KINDS = ("memory", "threads", "two_resource")
 
 
 @dataclass
@@ -118,9 +125,21 @@ class ClusterScenario:
     num_nodes / total_ebs:
         Fleet size and the fleet-level emulated-browser population the load
         balancer spreads across the accepting nodes.
+    kind:
+        Fleet aging scenario: ``"memory"`` (the paper's workload-coupled
+        leak), ``"threads"`` (the Experiment 4.4 thread leak) or
+        ``"two_resource"`` (both injectors at once).
     memory_n:
         Memory-leak injection parameter ``N`` of every node (and of the
-        training runs).
+        training runs); used by the ``memory`` and ``two_resource`` kinds.
+    thread_m / thread_t:
+        Thread-leak parameters ``M`` and ``T`` (threads per event, seconds
+        between events); used by the ``threads`` and ``two_resource`` kinds.
+    node_configs:
+        Optional per-node testbed configurations for heterogeneous fleets
+        (mixed heap sizes, thread limits); one entry per node.  ``None``
+        runs every node on the shared ``config``.  The predictor trains on
+        every distinct configuration in the fleet.
     horizon_seconds:
         Operation time of one cluster run.
     training_workloads / training_seeds / training_max_seconds:
@@ -150,7 +169,11 @@ class ClusterScenario:
     config: TestbedConfig = field(default_factory=TestbedConfig)
     num_nodes: int = 3
     total_ebs: int = 300
+    kind: str = "memory"
     memory_n: int = 30
+    thread_m: int = 30
+    thread_t: int = 90
+    node_configs: tuple[TestbedConfig, ...] | None = None
     horizon_seconds: float = 12 * 3600.0
     training_workloads: tuple[int, ...] = (100, 150)
     training_seeds: tuple[int, ...] = (1, 2)
@@ -171,19 +194,25 @@ class ClusterScenario:
             raise ValueError("num_nodes must be at least 1")
         if self.total_ebs < self.num_nodes:
             raise ValueError("total_ebs must provide at least one browser per node")
+        if self.kind not in CLUSTER_SCENARIO_KINDS:
+            raise ValueError(f"kind must be one of {CLUSTER_SCENARIO_KINDS}, not {self.kind!r}")
+        if self.node_configs is not None and len(self.node_configs) != self.num_nodes:
+            raise ValueError("node_configs must provide one configuration per node")
         if self.horizon_seconds <= 0:
             raise ValueError("horizon_seconds must be positive")
         if not self.training_workloads or not self.training_seeds:
             raise ValueError("the predictor needs at least one training workload and seed")
 
     @classmethod
-    def fast(cls) -> "ClusterScenario":
+    def fast(cls, kind: str = "memory") -> "ClusterScenario":
         """A scaled-down fleet for tests and quick examples.
 
         Three nodes with 160 MB heaps and 40 emulated browsers each under an
-        aggressive ``N = 20`` leak: nodes crash after roughly 25 simulated
-        minutes, so a two-hour fleet comparison runs in a few wall-clock
-        seconds while exercising every cluster code path.
+        aggressive ``N = 20`` leak (and, for the thread scenarios, an
+        ``M = 8 / T = 180`` thread leak against a 96-thread limit): nodes
+        crash after roughly half an hour of simulated time, so a two-hour
+        fleet comparison runs in a few wall-clock seconds while exercising
+        every cluster code path.
         """
         config = TestbedConfig(
             heap_max_mb=160.0,
@@ -198,7 +227,10 @@ class ClusterScenario:
             config=config,
             num_nodes=3,
             total_ebs=120,
+            kind=kind,
             memory_n=20,
+            thread_m=8,
+            thread_t=180,
             horizon_seconds=7200.0,
             training_workloads=(40, 60),
             training_seeds=(1, 2),
@@ -210,15 +242,52 @@ class ClusterScenario:
         )
 
     @classmethod
-    def paper_scale(cls) -> "ClusterScenario":
+    def fast_heterogeneous(cls, kind: str = "memory") -> "ClusterScenario":
+        """The fast fleet with mixed heap sizes per node.
+
+        Node 0 runs on a heap 30% smaller than the shared baseline and node
+        2 on one 40% larger, all under the same leak parameters -- the
+        configuration the heterogeneous-fleet tests drive: the small-heap
+        node exhausts its Old generation first, so it crashes earlier and,
+        under aging-aware routing, is shed first.
+        """
+        scenario = cls.fast(kind=kind)
+        base = scenario.config
+        small = replace(base, heap_max_mb=112.0)
+        large = replace(base, heap_max_mb=224.0)
+        scenario.node_configs = (small, base, large)
+        return scenario
+
+    @classmethod
+    def paper_scale(cls, kind: str = "memory") -> "ClusterScenario":
         """The fleet closest to the paper's testbed: 1 GB heap, ``N = 30``."""
-        return cls()
+        return cls(kind=kind)
 
     @property
     def nominal_node_ebs(self) -> int:
         """Per-node workload share when the whole fleet is serving."""
         return self.total_ebs // self.num_nodes
 
+    def training_configs(self) -> tuple[TestbedConfig, ...]:
+        """Distinct testbed configurations the predictor must learn.
+
+        Homogeneous fleets train on the shared configuration; heterogeneous
+        fleets train on every distinct per-node configuration so the M5P
+        model sees each heap/thread geometry's path to exhaustion.
+        """
+        if self.node_configs is None:
+            return (self.config,)
+        unique: list[TestbedConfig] = []
+        for node_config in self.node_configs:
+            if node_config not in unique:
+                unique.append(node_config)
+        return tuple(unique)
+
     def injector_factory(self, seed: int) -> list[FaultInjector]:
-        """Fresh memory-leak injectors for one node incarnation."""
-        return [MemoryLeakInjector(n=self.memory_n, seed=seed)]
+        """Fresh fault injectors for one node incarnation (kind-dependent)."""
+        injectors: list[FaultInjector] = []
+        if self.kind != "threads":
+            injectors.append(MemoryLeakInjector(n=self.memory_n, seed=seed))
+        if self.kind != "memory":
+            injectors.append(ThreadLeakInjector(m=self.thread_m, t=self.thread_t, seed=seed + 1))
+        return injectors

@@ -52,8 +52,13 @@ class ThreadPool:
 
     @property
     def worker_threads(self) -> int:
-        """Worker threads currently alive (base pool grown to the busy peak)."""
-        return max(self.base_threads, self._peak_workers)
+        """Worker threads currently alive (base pool grown to the busy peak).
+
+        ``_peak_workers`` starts at ``base_threads`` and only ever grows (a
+        rejuvenation resets it back to exactly ``base_threads``), so the
+        peak *is* the live worker count.
+        """
+        return self._peak_workers
 
     @property
     def leaked_threads(self) -> int:
@@ -62,7 +67,7 @@ class ThreadPool:
     @property
     def total_threads(self) -> int:
         """Worker plus leaked threads -- the Table 2 ``Num. Threads`` metric."""
-        return self.worker_threads + self._leaked
+        return self._peak_workers + self._leaked
 
     @property
     def available_threads(self) -> int:

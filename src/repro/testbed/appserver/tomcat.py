@@ -157,9 +157,10 @@ class TomcatServer:
         is what produces the flat zones of the paper's Figure 1 after a full
         GC reclaims floating garbage.
         """
-        heap = self.heap.snapshot()
+        heap = self.heap
         return (
-            heap.live_mb
+            heap.young_used_mb
+            + heap.old_used_mb
             + heap.perm_used_mb
             + self.thread_pool.total_threads * self.config.thread_stack_mb
             + self.config.jvm_overhead_mb

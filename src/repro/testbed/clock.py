@@ -4,6 +4,12 @@ The testbed advances in fixed one-second ticks: fine enough to resolve the
 monitoring cadence of the paper (one sample every 15 seconds) and the request
 inter-arrival times of TPC-W emulated browsers, while keeping multi-hour runs
 cheap to simulate.
+
+The clock counts *integer ticks* and derives ``now`` as ``ticks x
+tick_seconds``.  This makes advancing by ``k`` ticks at once (the batched
+fast-forward of the event-driven cluster engine) produce exactly the same
+floating-point ``now`` as ``k`` single-tick advances -- the property the
+engine's bit-for-bit equivalence guarantee rests on.
 """
 
 from __future__ import annotations
@@ -18,21 +24,28 @@ class SimulationClock:
         if tick_seconds <= 0:
             raise ValueError("tick_seconds must be positive")
         self.tick_seconds = float(tick_seconds)
-        self._now = 0.0
+        self._ticks = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds since the start of the run."""
-        return self._now
+        return self._ticks * self.tick_seconds
 
-    def advance(self) -> float:
-        """Move the clock forward by one tick and return the new time."""
-        self._now += self.tick_seconds
-        return self._now
+    @property
+    def ticks(self) -> int:
+        """Whole ticks elapsed since the start of the run."""
+        return self._ticks
+
+    def advance(self, ticks: int = 1) -> float:
+        """Move the clock forward by ``ticks`` ticks and return the new time."""
+        if ticks < 1:
+            raise ValueError("ticks must be at least 1")
+        self._ticks += ticks
+        return self.now
 
     def reset(self) -> None:
         """Rewind the clock to zero (used when a simulation is reused)."""
-        self._now = 0.0
+        self._ticks = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"SimulationClock(now={self._now:.1f}s, tick={self.tick_seconds}s)"
+        return f"SimulationClock(now={self.now:.1f}s, tick={self.tick_seconds}s)"

@@ -207,6 +207,46 @@ class TestbedSimulation:
         self.database.begin_tick()
         return now
 
+    def cluster_mark_tick(self, idle_gap: int, workload_ebs: int):
+        """Settle, begin and close a request-free monitoring-mark tick, fused.
+
+        Equivalent to replaying ``idle_gap`` untouched ticks, then
+        ``begin_tick()`` and ``end_tick(now, 0, workload_ebs)``: the
+        footprint and busy-thread count cannot change across a request-free
+        span, so one batched OS update covers the idle gap and the mark tick
+        itself (the three OS state variables are mutually independent, so
+        the merge is bit-for-bit exact).  Returns the monitoring sample, or
+        ``None`` when the wake-up was scheduled conservatively early.
+        """
+        clock = self.clock
+        if idle_gap and self._next_scheduled < len(self._schedule):
+            target_now = (clock.ticks + idle_gap) * self.config.tick_seconds
+            if self._schedule[self._next_scheduled].time_seconds <= target_now:
+                raise RuntimeError("cannot fast-forward over a pending scheduled action")
+        self.operating_system.update_span(
+            self.config.tick_seconds,
+            idle_gap + 1,
+            tomcat_footprint_mb=self.server.memory_footprint_mb(),
+            busy_threads=self.thread_pool.busy_workers + 1,
+        )
+        now = clock.advance(idle_gap + 1)
+        self.heap.set_time(now)
+        if self._next_scheduled < len(self._schedule):
+            self._apply_scheduled_actions(now)
+        self.server.begin_tick()
+        self.database.begin_tick()
+        if not self.collector.due(now):
+            return None
+        sample = self.collector.collect(
+            now,
+            server=self.server,
+            operating_system=self.operating_system,
+            database=self.database,
+            workload_ebs=workload_ebs,
+        )
+        self.trace.samples.append(sample)
+        return sample
+
     def serve(self, interaction: Interaction) -> RequestOutcome:
         """Serve one externally routed request (may raise ``ServerCrash``)."""
         return self.server.handle_request(interaction)

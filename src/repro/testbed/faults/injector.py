@@ -52,6 +52,22 @@ class FaultInjector(abc.ABC):
     def on_tick(self, time_seconds: float) -> None:
         """Advance the injector to ``time_seconds`` (called every tick)."""
 
+    def tick_event_horizon(self, now_seconds: float) -> float | None:
+        """Earliest time at or after which :meth:`on_tick` may act.
+
+        The event-driven cluster engine uses this to skip the per-tick
+        ``on_tick`` calls of injectors that have nothing scheduled: the
+        injector promises that calling ``on_tick`` at any time strictly
+        before the returned horizon is a no-op, so skipping those calls is
+        exactly equivalent to making them.
+
+        Return ``None`` for injectors whose ``on_tick`` never acts (purely
+        workload-driven faults).  The conservative default returns
+        ``now_seconds`` itself, meaning "I might act any tick" -- the engine
+        then falls back to driving the injector every tick.
+        """
+        return now_seconds
+
     def describe(self) -> str:
         """One-line human-readable description used in trace metadata."""
         return type(self).__name__

@@ -108,6 +108,10 @@ class MemoryLeakInjector(FaultInjector):
     def on_tick(self, time_seconds: float) -> None:
         """The memory leak is purely workload driven; nothing happens per tick."""
 
+    def tick_event_horizon(self, now_seconds: float) -> float | None:
+        """Workload driven: ``on_tick`` never acts, so there is no horizon."""
+        return None
+
     def describe(self) -> str:
         rate = "disabled" if self._n is None else f"N={self._n}"
         return f"MemoryLeakInjector({rate}, {self.leak_mb:.1f} MB per injection)"

@@ -137,6 +137,10 @@ class PeriodicPatternInjector(FaultInjector):
         if time_seconds - self._phase_started_at >= self.phase_duration_s:
             self._advance_phase(time_seconds)
 
+    def tick_event_horizon(self, now_seconds: float) -> float | None:
+        """The next phase rotation is the injector's only per-tick action."""
+        return self._phase_started_at + self.phase_duration_s
+
     # ------------------------------------------------------------ injections
 
     def _on_servlet_invocation(self, servlet: "Servlet") -> None:

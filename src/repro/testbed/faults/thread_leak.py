@@ -101,6 +101,15 @@ class ThreadLeakInjector(FaultInjector):
             self._next_injection_time += self._rng.uniform(0.0, float(self._t)) + 1e-9
             self.total_injections += 1
 
+    def tick_event_horizon(self, now_seconds: float) -> float | None:
+        """Next scheduled injection time (also valid while disabled).
+
+        While disabled, ``on_tick`` still pushes the schedule forward once
+        ``_next_injection_time`` is reached, so the horizon applies to both
+        modes: any ``on_tick`` call strictly before it is a no-op.
+        """
+        return self._next_injection_time
+
     def _leak(self, count: int) -> None:
         server = self.server
         # Heap retained by the thread objects themselves; allocate first so a

@@ -20,9 +20,15 @@ from repro.testbed.osmodel.system import OperatingSystem
 __all__ = ["MonitoringSample", "MetricsCollector", "Trace"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class MonitoringSample:
-    """One 15-second monitoring mark with every raw Table 2 variable."""
+    """One 15-second monitoring mark with every raw Table 2 variable.
+
+    Slotted and unfrozen on purpose: samples are created once per node per
+    mark on the simulation hot path, and a frozen dataclass pays one
+    ``object.__setattr__`` call per field in ``__init__``.  Treat instances
+    as immutable all the same.
+    """
 
     time_seconds: float
     throughput_rps: float
@@ -146,6 +152,14 @@ class MetricsCollector:
         """Whether a sample should be taken at ``time_seconds``."""
         return time_seconds - self._last_sample_time >= self.interval_seconds
 
+    def next_due_time(self) -> float:
+        """Earliest time at which :meth:`due` can become true.
+
+        Used by the event-driven cluster engine to schedule monitoring marks
+        as wake-up events instead of polling :meth:`due` every tick.
+        """
+        return self._last_sample_time + self.interval_seconds
+
     def collect(
         self,
         time_seconds: float,
@@ -159,28 +173,37 @@ class MetricsCollector:
         requests, response_time_total, _queued = server.drain_sample_counters()
         throughput = requests / interval
         response_time = response_time_total / requests if requests else 0.0
-        heap = server.heap.snapshot()
+        # Read the heap zones directly (same arithmetic as HeapSnapshot, minus
+        # the per-sample snapshot object -- this runs once per node per mark).
+        heap = server.heap
+        young_capacity = heap.young_capacity_mb
+        young_used = heap.young_used_mb
+        old_max = heap.old_max_mb
+        old_used = heap.old_used_mb
         total_threads = server.thread_pool.total_threads
+        load, disk_used, swap_free, processes, system_memory, tomcat_memory = (
+            operating_system.telemetry(total_threads)
+        )
         sample = MonitoringSample(
             time_seconds=time_seconds,
             throughput_rps=throughput,
             workload_ebs=workload_ebs,
             response_time_s=response_time,
-            system_load=operating_system.load_average,
-            disk_used_mb=operating_system.disk_used_mb,
-            swap_free_mb=operating_system.swap_free_mb,
-            num_processes=operating_system.num_processes(total_threads),
-            system_memory_used_mb=operating_system.system_memory_used_mb,
-            tomcat_memory_used_mb=operating_system.tomcat_memory_used_mb,
+            system_load=load,
+            disk_used_mb=disk_used,
+            swap_free_mb=swap_free,
+            num_processes=processes,
+            system_memory_used_mb=system_memory,
+            tomcat_memory_used_mb=tomcat_memory,
             num_threads=total_threads,
             http_connections=server.http_connections,
             mysql_connections=database.active_connections,
-            young_max_mb=heap.young_capacity_mb,
-            old_max_mb=heap.old_max_mb,
-            young_used_mb=heap.young_used_mb,
-            old_used_mb=heap.old_used_mb,
-            young_used_pct=100.0 * heap.young_used_fraction,
-            old_used_pct=100.0 * heap.old_used_fraction,
+            young_max_mb=young_capacity,
+            old_max_mb=old_max,
+            young_used_mb=young_used,
+            old_used_mb=old_used,
+            young_used_pct=100.0 * (young_used / young_capacity if young_capacity else 0.0),
+            old_used_pct=100.0 * (old_used / old_max if old_max else 0.0),
         )
         self._last_sample_time = time_seconds
         return sample

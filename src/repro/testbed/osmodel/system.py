@@ -70,7 +70,72 @@ class OperatingSystem:
             self.config.disk_capacity_mb,
         )
 
+    def update_span(
+        self,
+        seconds: float,
+        ticks: int,
+        tomcat_footprint_mb: float,
+        busy_threads: int,
+        requests_first_tick: int = 0,
+    ) -> None:
+        """Apply ``ticks`` consecutive per-tick updates in one exact batch.
+
+        Equivalent to calling :meth:`update` once with
+        ``requests_first_tick`` completed requests followed by ``ticks - 1``
+        request-free calls, all with the same footprint and busy-thread
+        count: the RSS maximum is idempotent, request-free ticks leave the
+        disk usage bit-for-bit unchanged, and the load average replays the
+        per-tick exponential-moving-average recurrence (a closed form would
+        diverge from the reference engine in the last float bits).  The
+        three state variables are independent, so batching each one
+        preserves the per-tick result exactly.
+        """
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        if ticks == 0:
+            return
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        if requests_first_tick < 0:
+            raise ValueError("requests_first_tick must be non-negative")
+        self._tomcat_rss_mb = max(self._tomcat_rss_mb, tomcat_footprint_mb)
+        instantaneous_load = busy_threads / self.config.cpu_cores
+        decay = min(seconds / 60.0, 1.0)
+        load = self._load_average
+        for _ in range(ticks):
+            load += (instantaneous_load - load) * decay
+        self._load_average = load
+        if requests_first_tick:
+            self._disk_used_mb = min(
+                self._disk_used_mb + self.config.log_mb_per_request * requests_first_tick,
+                self.config.disk_capacity_mb,
+            )
+
     # --------------------------------------------------------------- queries
+
+    def telemetry(self, total_threads: int) -> tuple[float, float, float, int, float, float]:
+        """All six OS-level Table 2 variables in one pass.
+
+        Returns ``(load_average, disk_used_mb, swap_free_mb, num_processes,
+        system_memory_used_mb, tomcat_memory_used_mb)`` -- the same values
+        as the individual properties, computed with a single evaluation of
+        the shared swap arithmetic.  This is the monitoring collector's hot
+        path (once per node per mark).
+        """
+        raw = self.config.os_base_memory_mb + self._tomcat_rss_mb
+        swap_used = self._swap_used_from(raw)
+        return (
+            self._load_average,
+            self._disk_used_mb,
+            self.config.swap_mb - swap_used,
+            self.num_processes(total_threads),
+            min(raw, self.config.system_memory_mb + swap_used),
+            self._tomcat_rss_mb,
+        )
+
+    def _swap_used_from(self, raw_used_mb: float) -> float:
+        """Swap consumed for a given raw memory demand (shared formula)."""
+        return min(max(raw_used_mb - self.config.system_memory_mb, 0.0), self.config.swap_mb)
 
     @property
     def tomcat_memory_used_mb(self) -> float:
@@ -86,9 +151,7 @@ class OperatingSystem:
     @property
     def swap_used_mb(self) -> float:
         """Swap consumed once physical memory is oversubscribed."""
-        raw = self.config.os_base_memory_mb + self._tomcat_rss_mb
-        overflow = raw - self.config.system_memory_mb
-        return min(max(overflow, 0.0), self.config.swap_mb)
+        return self._swap_used_from(self.config.os_base_memory_mb + self._tomcat_rss_mb)
 
     @property
     def swap_free_mb(self) -> float:

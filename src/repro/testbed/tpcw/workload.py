@@ -91,6 +91,20 @@ class WorkloadGenerator:
     def browsers(self) -> list[EmulatedBrowser]:
         return list(self._browsers)
 
+    def browser_population(self) -> list[EmulatedBrowser]:
+        """The live browser list itself (event-driven engine access).
+
+        The event-driven cluster engine schedules every browser's next
+        request on a heap instead of ticking the population each second, so
+        it needs stable (index-addressable) access to the actual objects,
+        not the defensive copy :attr:`browsers` returns.
+        """
+        return self._browsers
+
+    def draw_interaction(self, browser: EmulatedBrowser) -> Interaction:
+        """Draw ``browser``'s next interaction under the active mix."""
+        return browser.choose_interaction(self._interactions, self._weights)
+
     def set_num_browsers(self, num_browsers: int) -> None:
         """Resize the EB population (used only by ablation scenarios)."""
         if num_browsers < 1:

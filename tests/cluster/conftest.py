@@ -32,3 +32,25 @@ def fitted_predictor(fast_scenario, training_traces):
 @pytest.fixture(scope="session")
 def experiment_result(fast_scenario, training_traces, fitted_predictor):
     return run_cluster_experiment(fast_scenario, training=training_traces, predictor=fitted_predictor)
+
+
+@pytest.fixture(scope="session")
+def threads_experiment():
+    """Three-strategy comparison on the thread-leak fleet scenario."""
+    return run_cluster_experiment(ClusterScenario.fast(kind="threads"))
+
+
+@pytest.fixture(scope="session")
+def two_resource_experiment():
+    """Three-strategy comparison on the memory+thread two-resource fleet."""
+    return run_cluster_experiment(ClusterScenario.fast(kind="two_resource"))
+
+
+@pytest.fixture(scope="session")
+def heterogeneous_scenario() -> ClusterScenario:
+    return ClusterScenario.fast_heterogeneous()
+
+
+@pytest.fixture(scope="session")
+def heterogeneous_predictor(heterogeneous_scenario):
+    return train_cluster_predictor(heterogeneous_scenario)

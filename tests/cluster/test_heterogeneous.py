@@ -1,0 +1,99 @@
+"""Heterogeneous fleets: mixed per-node heap sizes under one leak rate.
+
+``ClusterScenario.fast_heterogeneous`` runs node 0 on a 112 MB heap, node 1
+on the 160 MB baseline and node 2 on a 224 MB heap, all under the same
+``N = 20`` memory leak.  Aging is resource exhaustion, so the small-heap
+node must run out of Old-generation space first -- and once the M5P
+forecast sees that, aging-aware routing must shed it first.
+"""
+
+import pytest
+
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.routing import AgingAwareRouting
+from repro.experiments.cluster import run_cluster_policy
+from repro.cluster.coordinator import NoClusterRejuvenation
+
+
+@pytest.fixture(scope="module")
+def heterogeneous_outcome(heterogeneous_scenario):
+    """One heterogeneous fleet run to its crashes (no rejuvenation)."""
+    return run_cluster_policy(heterogeneous_scenario, NoClusterRejuvenation())
+
+
+class TestHeterogeneousCrashOrder:
+    def test_small_heap_node_crashes_earlier(self, heterogeneous_outcome):
+        per_node = heterogeneous_outcome.per_node
+        small, base, large = per_node
+        assert small.crashes > large.crashes
+        assert small.unplanned_downtime_seconds > large.unplanned_downtime_seconds
+
+    def test_crash_times_order_with_heap_size(self, heterogeneous_scenario):
+        engine = ClusterEngine(
+            num_nodes=heterogeneous_scenario.num_nodes,
+            config=heterogeneous_scenario.config,
+            node_configs=heterogeneous_scenario.node_configs,
+            total_ebs=heterogeneous_scenario.total_ebs,
+            injector_factory=heterogeneous_scenario.injector_factory,
+            seed=heterogeneous_scenario.cluster_seed,
+        )
+        engine.run(max_seconds=3600.0)
+        first_crash_times = {}
+        for node in engine.nodes:
+            crashed = [t.crash_time_seconds for t in node.incarnations if t.crashed]
+            if crashed:
+                first_crash_times[node.node_id] = crashed[0]
+        assert 0 in first_crash_times, "the small-heap node never crashed"
+        assert first_crash_times[0] == min(first_crash_times.values())
+
+    def test_per_node_configs_are_threaded_through(self, heterogeneous_scenario):
+        engine = ClusterEngine(
+            num_nodes=heterogeneous_scenario.num_nodes,
+            config=heterogeneous_scenario.config,
+            node_configs=heterogeneous_scenario.node_configs,
+            total_ebs=heterogeneous_scenario.total_ebs,
+            injector_factory=heterogeneous_scenario.injector_factory,
+            seed=heterogeneous_scenario.cluster_seed,
+        )
+        heaps = [node.config.heap_max_mb for node in engine.nodes]
+        assert heaps == [112.0, 160.0, 224.0]
+
+    def test_node_config_count_is_validated(self, heterogeneous_scenario):
+        with pytest.raises(ValueError):
+            ClusterEngine(
+                num_nodes=2,
+                config=heterogeneous_scenario.config,
+                node_configs=heterogeneous_scenario.node_configs,  # 3 configs
+                total_ebs=40,
+            )
+
+
+class TestAgingAwareShedding:
+    def test_routing_sheds_the_small_heap_node_first(
+        self, heterogeneous_scenario, heterogeneous_predictor
+    ):
+        """Under aging-aware routing the small-heap node serves the least.
+
+        The predictor is trained on every distinct heap geometry of the
+        fleet, so its forecasts reflect each node's true headroom; the
+        weighted routing then gives the node forecast to die first the
+        smallest share of the traffic.
+        """
+        outcome = run_cluster_policy(
+            heterogeneous_scenario,
+            NoClusterRejuvenation(),
+            routing_policy=AgingAwareRouting(
+                ttf_comfort_seconds=heterogeneous_scenario.ttf_comfort_seconds
+            ),
+            predictor=heterogeneous_predictor,
+        )
+        small, base, large = outcome.per_node
+        assert small.requests_served < large.requests_served
+        # Shedding slows the small node's aging relative to the unshedded
+        # baseline: it must not crash more often than under round-robin.
+        assert small.crashes <= outcome.num_nodes + 2  # sanity bound
+
+    def test_training_covers_every_distinct_config(self, heterogeneous_scenario):
+        configs = heterogeneous_scenario.training_configs()
+        assert len(configs) == 3
+        assert sorted(c.heap_max_mb for c in configs) == [112.0, 160.0, 224.0]

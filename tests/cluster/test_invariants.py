@@ -1,0 +1,181 @@
+"""Invariant/property harness for the event-driven cluster engine.
+
+Seeded random fleets -- size, workload, scenario kind, heterogeneity,
+routing policy, restart cost model all drawn from a seeded generator -- are
+run through the engine with instrumented routing and coordination wrappers,
+and checked against the invariants every correct fleet run must satisfy:
+
+* availability lies in [0, 1], fleet-wide and per node;
+* every request a browser issued was either served or rejected
+  (``served + rejected == offered``), and the per-node serve counts add up;
+* requests are never routed to draining or restarting nodes;
+* the rolling coordinator never drains below its capacity floor;
+* the time accounting is conserved (capacity, outage and degraded seconds
+  never exceed the horizon; per-node uptime plus downtime never exceeds it).
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.coordinator import (
+    NoClusterRejuvenation,
+    RollingPredictiveRejuvenation,
+    UncoordinatedTimeBasedRejuvenation,
+)
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.node import NodeState
+from repro.cluster.routing import AgingAwareRouting, LeastConnectionsRouting, RoundRobinRouting
+from repro.experiments.scenarios import CLUSTER_SCENARIO_KINDS, ClusterScenario
+
+
+class RoutingAuditor(RoundRobinRouting):
+    """Round-robin routing that asserts every candidate accepts traffic."""
+
+    def __init__(self):
+        super().__init__()
+        self.routed_requests = 0
+
+    def route(self, candidates):
+        assert candidates, "the balancer must never offer an empty candidate list"
+        for node in candidates:
+            assert node.state is NodeState.ACTIVE, (
+                f"node {node.node_id} offered for routing while {node.state.value}"
+            )
+        self.routed_requests += 1
+        return super().route(candidates)
+
+
+class FloorAuditor(RollingPredictiveRejuvenation):
+    """Rolling coordination that asserts its own capacity floor on every decision."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.decisions = 0
+
+    def decide(self, now_seconds, nodes):
+        chosen = super().decide(now_seconds, nodes)
+        if chosen:
+            self.decisions += 1
+            active_after = sum(1 for node in nodes if node.state is NodeState.ACTIVE) - len(chosen)
+            assert active_after >= self.min_active_nodes(len(nodes)), (
+                f"draining {len(chosen)} node(s) at t={now_seconds:.0f}s would break the floor"
+            )
+        return chosen
+
+
+def check_outcome_invariants(engine, outcome):
+    """The invariants every finished fleet run must satisfy."""
+    assert 0.0 <= outcome.availability <= 1.0
+    assert 0.0 <= outcome.request_success_rate <= 1.0
+    offered = engine.workload.total_requests_issued
+    assert outcome.served_requests + outcome.dropped_requests == offered
+    assert outcome.served_requests == sum(node.requests_served for node in outcome.per_node)
+    assert outcome.crashes == sum(node.crashes for node in outcome.per_node)
+    assert outcome.rejuvenations == sum(node.rejuvenations for node in outcome.per_node)
+    assert 0 <= outcome.min_active_nodes <= outcome.num_nodes
+    assert outcome.capacity_node_seconds <= outcome.num_nodes * outcome.horizon_seconds + 1e-9
+    assert outcome.full_outage_seconds + outcome.degraded_seconds <= outcome.horizon_seconds + 1e-9
+    for node in outcome.per_node:
+        assert 0.0 <= node.availability <= 1.0
+        assert node.uptime_seconds + node.planned_downtime_seconds + node.unplanned_downtime_seconds \
+            <= outcome.horizon_seconds + 1e-9
+
+
+def build_random_fleet(seed):
+    """Draw one random fleet configuration from a seeded generator."""
+    rng = random.Random(seed)
+    scenario = ClusterScenario.fast(kind=rng.choice(CLUSTER_SCENARIO_KINDS))
+    num_nodes = rng.randint(2, 5)
+    node_configs = None
+    if rng.random() < 0.5:
+        from dataclasses import replace
+
+        node_configs = tuple(
+            replace(scenario.config, heap_max_mb=rng.choice([112.0, 160.0, 224.0]))
+            for _ in range(num_nodes)
+        )
+    routing = RoutingAuditor()
+    engine = ClusterEngine(
+        num_nodes=num_nodes,
+        config=scenario.config,
+        node_configs=node_configs,
+        total_ebs=rng.randint(num_nodes, 150),
+        injector_factory=scenario.injector_factory,
+        routing_policy=routing,
+        coordinator=(
+            UncoordinatedTimeBasedRejuvenation(rng.uniform(600.0, 1500.0))
+            if rng.random() < 0.5
+            else NoClusterRejuvenation()
+        ),
+        drain_seconds=rng.choice([0.0, 15.0, 45.0]),
+        rejuvenation_downtime_seconds=rng.choice([60.0, 120.0]),
+        crash_downtime_seconds=rng.choice([300.0, 900.0]),
+        seed=rng.randrange(2**20),
+    )
+    return engine, routing
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_fleet_invariants(seed):
+    """Seeded random fleets uphold every engine invariant end to end."""
+    engine, routing = build_random_fleet(seed)
+    outcome = engine.run(max_seconds=2700.0)
+    check_outcome_invariants(engine, outcome)
+    assert routing.routed_requests >= outcome.served_requests
+
+
+def test_capacity_floor_holds_under_predictive_rolling(fast_scenario, fitted_predictor):
+    """The rolling coordinator never drains through its capacity floor."""
+    coordinator = FloorAuditor(
+        max_concurrent_restarts=fast_scenario.max_concurrent_restarts,
+        min_active_fraction=fast_scenario.min_active_fraction,
+    )
+    engine = ClusterEngine(
+        num_nodes=fast_scenario.num_nodes,
+        config=fast_scenario.config,
+        total_ebs=fast_scenario.total_ebs,
+        injector_factory=fast_scenario.injector_factory,
+        routing_policy=AgingAwareRouting(ttf_comfort_seconds=fast_scenario.ttf_comfort_seconds),
+        coordinator=coordinator,
+        predictor=fitted_predictor,
+        alarm_threshold_seconds=fast_scenario.alarm_threshold_seconds,
+        alarm_consecutive=fast_scenario.alarm_consecutive,
+        drain_seconds=fast_scenario.drain_seconds,
+        seed=fast_scenario.cluster_seed,
+    )
+    outcome = engine.run(max_seconds=3600.0)
+    check_outcome_invariants(engine, outcome)
+    assert coordinator.decisions >= 1, "the predictive coordinator never acted"
+    assert outcome.min_active_nodes >= coordinator.min_active_nodes(fast_scenario.num_nodes) - outcome.crashes
+
+
+class TestScenarioKindExperiments:
+    """The three-strategy comparison upholds the invariants (and the headline
+    claim) on every fleet scenario kind."""
+
+    def test_memory_fleet(self, experiment_result):
+        self._check(experiment_result)
+
+    def test_threads_fleet(self, threads_experiment):
+        self._check(threads_experiment)
+        # The baseline really is dying of thread exhaustion, not memory.
+        assert threads_experiment.no_rejuvenation.crashes >= 1
+
+    def test_two_resource_fleet(self, two_resource_experiment):
+        self._check(two_resource_experiment)
+        # Both resources must actually be exhausting somewhere: the
+        # no-rejuvenation baseline sees more crashes than the memory-only or
+        # thread-only fast fleets of the same horizon would on their own.
+        assert two_resource_experiment.no_rejuvenation.crashes >= 8
+
+    @staticmethod
+    def _check(result):
+        for outcome in result.outcomes().values():
+            assert 0.0 <= outcome.availability <= 1.0
+            assert outcome.served_requests == sum(n.requests_served for n in outcome.per_node)
+            assert 0 <= outcome.min_active_nodes <= outcome.num_nodes
+        assert result.rolling_wins(), "\n".join(result.summary_lines())
+        rolling = result.rolling_predictive
+        assert rolling.full_outage_seconds == 0.0
+        assert rolling.crashes == 0
