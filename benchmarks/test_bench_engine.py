@@ -1,0 +1,130 @@
+"""Benchmarks of the single-server simulation engines.
+
+``test_engine_training_run_speedup`` pits the event-driven default engine
+against the retained per-second reference on the paper's one-hour 100-EB
+no-injection training run -- the run that dominates ``run_cluster_experiment``
+wall-clock (every scenario kind regenerates several of them) -- and asserts
+the >=3x speedup with bit-for-bit identical traces.
+
+``test_engine_memory_leak_run_speedup`` does the same for a crash-bounded
+memory-leak run (Experiment 4.1's bread and butter): the run ends when the
+paper-scale 1 GB heap exhausts, so the horizon is the crash time itself.
+
+Both interleave reference/event pairs and assert the median per-pair ratio,
+so transient machine noise (which hits both engines of a pair alike) cannot
+fake or mask the speedup.  Within a pair each engine is timed as the best of
+three back-to-back runs: this benchmark box's wall clock swings tens of
+percent between runs, and the per-engine minimum estimates the true cost
+with the noise stripped equally from both sides.
+"""
+
+import time
+
+from repro.testbed.config import TestbedConfig
+from repro.testbed.engine import TestbedSimulation
+from repro.testbed.faults.memory_leak import MemoryLeakInjector
+
+from bench_util import BENCH_SEED, print_comparison
+
+_TRAINING_EBS = 100
+_TRAINING_SECONDS = 3600.0
+_LEAK_N = 30
+_LEAK_MAX_SECONDS = 12 * 3600.0
+_PAIRS = 5
+_RUNS_PER_SIDE = 3
+
+
+def _best_of(build, max_seconds, engine):
+    """Best-of-N wall clock of one engine, checking the trace each run."""
+    best_seconds = None
+    trace = None
+    for _ in range(_RUNS_PER_SIDE):
+        simulation = build()
+        started = time.perf_counter()
+        trace = simulation.run(max_seconds=max_seconds, engine=engine)
+        elapsed = time.perf_counter() - started
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return best_seconds, trace
+
+
+def _speedup_pairs(benchmark, build, max_seconds, title, minimum, extra_info):
+    """Interleaved median-of-pairs speedup of event vs per-second engines."""
+    ratios = []
+    reference_times = []
+    event_times = []
+    for _ in range(_PAIRS):
+        reference_seconds, reference_trace = _best_of(build, max_seconds, "per_second")
+        event_seconds, event_trace = _best_of(build, max_seconds, "event")
+        assert event_trace.samples == reference_trace.samples
+        assert event_trace.crash_time_seconds == reference_trace.crash_time_seconds
+        reference_times.append(reference_seconds)
+        event_times.append(event_seconds)
+        ratios.append(reference_seconds / event_seconds)
+
+    # One extra event-engine round through the benchmark fixture so the
+    # BENCH json records the engine's own timing distribution.
+    benchmark.pedantic(lambda: build().run(max_seconds=max_seconds), iterations=1, rounds=1)
+
+    speedup = sorted(ratios)[len(ratios) // 2]
+    benchmark.extra_info.update(extra_info)
+    benchmark.extra_info["per_second_engine_s"] = round(min(reference_times), 3)
+    benchmark.extra_info["event_engine_s"] = round(min(event_times), 3)
+    benchmark.extra_info["speedup_x"] = round(speedup, 2)
+    print_comparison(
+        title,
+        [
+            ("per-second reference (best pair)", "-", f"{min(reference_times):.3f} s"),
+            ("event-driven engine (best pair)", "-", f"{min(event_times):.3f} s"),
+            ("speedup (median of pairs)", f">= {minimum:.0f}x", f"{speedup:.1f}x"),
+            ("per-pair ratios", "-", ", ".join(f"{r:.1f}x" for r in ratios)),
+            ("samples identical", "expected", "True"),
+        ],
+    )
+    assert speedup >= minimum
+    return event_trace
+
+
+def test_engine_training_run_speedup(benchmark):
+    """One-hour 100-EB no-injection training run: >=3x, identical traces."""
+
+    def build():
+        return TestbedSimulation(config=TestbedConfig(), workload_ebs=_TRAINING_EBS, seed=BENCH_SEED)
+
+    trace = _speedup_pairs(
+        benchmark,
+        build,
+        _TRAINING_SECONDS,
+        "Engine: event-driven vs per-second, one-hour training run",
+        minimum=3.0,
+        extra_info={"workload_ebs": _TRAINING_EBS, "duration_seconds": _TRAINING_SECONDS},
+    )
+    assert not trace.crashed
+    assert len(trace.samples) == 240
+
+
+def test_engine_memory_leak_run_speedup(benchmark):
+    """Crash-bounded memory-leak run (N=30, 1 GB heap): >=2x, same crash tick."""
+
+    def build():
+        return TestbedSimulation(
+            config=TestbedConfig(),
+            workload_ebs=_TRAINING_EBS,
+            injectors=[MemoryLeakInjector(n=_LEAK_N, seed=BENCH_SEED)],
+            seed=BENCH_SEED,
+        )
+
+    trace = _speedup_pairs(
+        benchmark,
+        build,
+        _LEAK_MAX_SECONDS,
+        "Engine: event-driven vs per-second, crash-bounded memory-leak run",
+        minimum=2.0,
+        extra_info={
+            "workload_ebs": _TRAINING_EBS,
+            "duration_seconds": _LEAK_MAX_SECONDS,
+            "leak_n": _LEAK_N,
+        },
+    )
+    assert trace.crashed and trace.crash_resource == "memory"
+    benchmark.extra_info["crash_time_s"] = trace.crash_time_seconds

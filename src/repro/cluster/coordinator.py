@@ -29,7 +29,7 @@ import math
 from typing import TYPE_CHECKING, Sequence
 
 from repro.cluster.node import NodeState
-from repro.cluster.timeline import first_tick_at_or_after
+from repro.testbed.timeline import first_tick_at_or_after
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.node import ClusterNode

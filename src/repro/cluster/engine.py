@@ -22,7 +22,12 @@ Two engines live here, sharing one construction path and one semantics:
 The bit-for-bit guarantee holds for the shipped tick size (1 second) and,
 more generally, whenever per-tick float accumulation equals its batched
 form; the event machinery replays every countdown with the exact helpers of
-:mod:`repro.cluster.timeline` rather than trusting algebraic shortcuts.
+:mod:`repro.testbed.timeline` rather than trusting algebraic shortcuts.
+The batched fast-forward itself (lite begins, ``(footprint, busy)``
+segments, deferred OS settlement, fused marks) lives in the shared
+scheduler :mod:`repro.testbed.events` -- the same core that drives
+stand-alone ``TestbedSimulation`` runs -- with :class:`ClusterNode` adding
+only the fleet lifecycle on top.
 
 Both engines redistribute workload automatically at every membership change:
 
@@ -49,8 +54,9 @@ from repro.cluster.coordinator import ClusterRejuvenationCoordinator, NoClusterR
 from repro.cluster.node import ClusterNode, InjectorFactory
 from repro.cluster.routing import RoutingPolicy
 from repro.cluster.status import ClusterOutcome, FleetStatus
-from repro.cluster.timeline import first_tick_at_or_after, ticks_until_nonpositive
 from repro.core.predictor import AgingPredictor
+from repro.testbed.events import next_fire_tick
+from repro.testbed.timeline import first_tick_at_or_after, ticks_until_nonpositive
 from repro.testbed.clock import SimulationClock
 from repro.testbed.config import TestbedConfig
 from repro.testbed.errors import ServerCrash
@@ -362,12 +368,9 @@ class ClusterEngine:
                     served += 1
                     break
                 think_time = browser.complete_request_and_rethink()
-                next_fire = (
-                    current
-                    + max(1, ticks_until_nonpositive(response_time, tick))
-                    + ticks_until_nonpositive(think_time, tick)
+                heapq.heappush(
+                    browser_fires, (next_fire_tick(current, response_time, think_time, tick), index)
                 )
-                heapq.heappush(browser_fires, (next_fire, index))
 
         # -- drive the scheduled injector events
         if injections:

@@ -20,6 +20,22 @@ node's injector factory and, when a fitted :class:`AgingPredictor` is
 supplied, a fresh :class:`OnlineAgingMonitor` streaming its monitoring marks
 -- the node-local forecast that both the aging-aware routing policy and the
 rolling rejuvenation coordinator consume.
+
+The event-driven fast path (the ``ev_*`` methods) is a thin lifecycle layer
+over the shared :class:`repro.testbed.events.TickSettlement` scheduler: each
+incarnation owns one settlement instance that performs the exact batched
+fast-forwards (lite begins, ``(footprint, busy)`` segments, deferred OS
+settlement, fused monitoring marks), while the node adds what only a fleet
+member has -- uptime/downtime accounting, drain/restart transitions and the
+on-line monitor.  The one observable concession of the deferred mode: the
+heap's GC event log stamps events with the last *settled* time, so cluster
+nodes' GC timestamps can lag within a monitoring interval.  Nothing derived
+from a cluster run reads them (the single-server engine keeps its clock
+eager and is unaffected).
+
+A node must be driven through exactly one of the two APIs (per-tick
+``advance_tick``/``end_tick`` or the ``ev_*`` events) for its whole life;
+the engine that owns it picks.
 """
 
 from __future__ import annotations
@@ -27,14 +43,15 @@ from __future__ import annotations
 import enum
 from typing import Callable, Iterable
 
-from repro.cluster.timeline import countdown_after, first_tick_at_or_after, ticks_until_nonpositive
 from repro.core.online import OnlineAgingMonitor, OnlinePrediction
 from repro.core.predictor import AgingPredictor
 from repro.testbed.config import TestbedConfig
 from repro.testbed.engine import TestbedSimulation
 from repro.testbed.errors import ServerCrash
+from repro.testbed.events import TickSettlement
 from repro.testbed.faults.injector import FaultInjector
 from repro.testbed.monitoring.collector import MonitoringSample, Trace
+from repro.testbed.timeline import countdown_after, ticks_until_nonpositive
 from repro.testbed.tpcw.interactions import Interaction
 
 __all__ = ["ClusterNode", "NodeState", "InjectorFactory"]
@@ -129,24 +146,12 @@ class ClusterNode:
         self.rejuvenations = 0
         self.requests_served = 0
 
-        # Event-driven bookkeeping (only touched through the ev_* methods).
-        self._ev_incarnation_begun = 0
+        # Event-driven lifecycle bookkeeping (the settlement itself lives in
+        # the shared scheduler; see _start_incarnation).
+        self.settlement: TickSettlement | None = None
         self._ev_transition_tick: int | None = None
         self._ev_downtime_charged_to = 0
         self._ev_drain_started = 0
-        #: Cluster tick through which deferred per-tick OS updates settled.
-        self._ev_os_tick = 0
-        #: Lite-begun tick awaiting settlement, and its served requests.
-        self._ev_open_tick: int | None = None
-        self._ev_open_reqs = 0
-        #: (footprint, busy) before the first lite tick after a settlement.
-        self._ev_boundary: tuple[float, int] | None = None
-        #: Closed lite ticks: (tick, requests, footprint_after, busy_after).
-        self._ev_segments: list[tuple[int, int, float, int]] = []
-        #: Monitoring cadence in whole ticks (exact for the 1-second tick).
-        self.ev_mark_interval_ticks = first_tick_at_or_after(
-            config.monitoring_interval_s, config.tick_seconds
-        )
 
         self._start_incarnation()
 
@@ -214,7 +219,7 @@ class ClusterNode:
 
     # -------------------------------------------------------------- lifecycle
 
-    def _start_incarnation(self) -> None:
+    def _start_incarnation(self, base_tick: int = 0) -> None:
         incarnation_seed = self.seed + _INCARNATION_SEED_STRIDE * self._incarnation_index
         self._incarnation_index += 1
         # The node's own workload generator is never ticked (the cluster
@@ -238,6 +243,16 @@ class ClusterNode:
             )
         self.latest_prediction = None
         self.state = NodeState.ACTIVE
+        # Fresh shared-scheduler settlement for the incarnation; the hottest
+        # entry points are aliased straight onto the node so the engine pays
+        # no extra indirection per routed request.
+        self.settlement = TickSettlement(
+            self.simulation, base_tick=base_tick, on_uptime=self._ev_add_uptime
+        )
+        self.ev_serve_begin = self.settlement.serve_begin
+        self.ev_note_request = self.settlement.note_request
+        self.ev_sync_begin = self.settlement.sync_begin
+        self.ev_settle_open = self.settlement.settle_open
 
     def advance_tick(self, tick_seconds: float) -> bool:
         """Advance the node's lifecycle by one cluster tick.
@@ -285,6 +300,11 @@ class ClusterNode:
         self.simulation = None
         self.monitor = None
         self.latest_prediction = None
+        # Release the dead incarnation's settlement too: it (and the aliased
+        # bound methods) would otherwise pin the whole retired simulation for
+        # the downtime.  Every event-path caller guards on live/ACTIVE state.
+        self.settlement = None
+        del self.ev_serve_begin, self.ev_note_request, self.ev_sync_begin, self.ev_settle_open
 
     # ------------------------------------------------------------------ serve
 
@@ -327,42 +347,30 @@ class ClusterNode:
 
     # ------------------------------------------------ event-driven fast path
     #
-    # The ev_* methods below are the node side of the event-driven
-    # ClusterEngine.  They reproduce the per-tick advance_tick()/end_tick()
-    # semantics above bit-for-bit while touching the node only at
-    # "interesting" ticks:
-    #
-    # * serving a request performs a *lite begin* -- only the per-tick
-    #   counters reset; the clock, OS model and uptime settle later;
-    # * each served tick is recorded as a (tick, requests, footprint, busy)
-    #   segment, so the deferred per-tick OS updates replay with exactly the
-    #   inputs the reference engine would have used (nothing can touch a
-    #   node's components between its own events);
-    # * lifecycle countdowns are resolved into absolute transition ticks
-    #   with the exact replay helpers of repro.cluster.timeline, and
-    #   downtime is charged lazily.
-    #
-    # The one observable concession: the heap's GC event log stamps events
-    # with the last *settled* time, so cluster nodes' GC timestamps can lag
-    # within a monitoring interval.  Nothing derived from a cluster run
-    # reads them (the single-server engine is unaffected).
-    #
-    # A node must be driven through exactly one of the two APIs for its
-    # whole life; the engine that owns it picks.
+    # Settlement (lite begins, segments, batched OS replay, fused marks) is
+    # the shared scheduler's job -- see repro.testbed.events.TickSettlement,
+    # whose hottest methods are aliased onto the node in _start_incarnation.
+    # What remains here is the lifecycle the settlement cannot know about:
+    # uptime charged per live tick, downtime charged lazily per down tick,
+    # and the drain/restart transitions resolved into absolute ticks with
+    # the exact replay helpers of repro.testbed.timeline.
 
     @property
     def ev_incarnation_begun_tick(self) -> int:
         """Cluster tick at which the current incarnation's clock was zero."""
-        return self._ev_incarnation_begun
+        assert self.settlement is not None
+        return self.settlement.base_tick
+
+    @property
+    def ev_mark_interval_ticks(self) -> int:
+        """Monitoring cadence in whole ticks (exact for the 1-second tick)."""
+        assert self.settlement is not None
+        return self.settlement.mark_interval_ticks
 
     @property
     def ev_transition_tick(self) -> int | None:
         """Scheduled lifecycle transition: drain expiry or restart completion."""
         return self._ev_transition_tick
-
-    def _ev_clock_tick(self) -> int:
-        assert self.simulation is not None
-        return self._ev_incarnation_begun + self.simulation.clock.ticks
 
     def _ev_add_uptime(self, ticks: int) -> None:
         """Charge ``ticks`` live ticks of uptime, bit-for-bit like per-tick adds."""
@@ -376,249 +384,27 @@ class ClusterNode:
                 uptime += tick
             self.uptime_seconds = uptime
 
-    def _ev_advance_clock_to(self, j: int) -> None:
-        """Advance the incarnation clock to tick ``j``, charging uptime."""
-        assert self.simulation is not None
-        ticks = j - self._ev_clock_tick()
-        if ticks <= 0:
-            return
-        self.simulation.clock.advance(ticks)
-        self._ev_add_uptime(ticks)
-
-    def _ev_close_open(self) -> None:
-        """Snapshot and close the open lite tick into the segment list."""
-        open_tick = self._ev_open_tick
-        if open_tick is None:
-            return
-        sim = self.simulation
-        assert sim is not None
-        self._ev_segments.append(
-            (
-                open_tick,
-                self._ev_open_reqs,
-                sim.server.memory_footprint_mb(),
-                sim.thread_pool.busy_workers + 1,
-            )
-        )
-        self._ev_open_tick = None
-
-    def _ev_replay_os_to(self, last_tick: int) -> tuple[float, int] | None:
-        """Apply the deferred per-tick OS updates through ``last_tick``.
-
-        Replays every recorded segment with its captured footprint and
-        busy-thread count, the idle gaps between them with the neighbouring
-        segment's state (nothing changes a node's components between its
-        own events), and the trailing idle run.  Bit-for-bit equal to the
-        reference engine's per-tick ``OperatingSystem.update`` calls.
-
-        Returns the last (footprint, busy) pair the replay used, or ``None``
-        when it never needed one -- callers whose tick cannot have mutated
-        the components since may reuse it instead of recomputing.
-        """
-        sim = self.simulation
-        assert sim is not None
-        os_model = sim.operating_system
-        tick = self.config.tick_seconds
-        cursor = self._ev_os_tick
-        assert last_tick >= cursor, "OS settlement must never move backwards"
-        previous = self._ev_boundary
-        segments = self._ev_segments
-        if segments:
-            for seg_tick, requests, footprint, busy in segments:
-                gap = seg_tick - cursor - 1
-                if gap > 0:
-                    os_model.update_span(tick, gap, previous[0], previous[1], 0)
-                os_model.update_span(tick, 1, footprint, busy, requests)
-                cursor = seg_tick
-                previous = (footprint, busy)
-            segments.clear()
-        self._ev_boundary = None
-        tail = last_tick - cursor
-        if tail > 0:
-            if previous is None:
-                previous = (sim.server.memory_footprint_mb(), sim.thread_pool.busy_workers + 1)
-            os_model.update_span(tick, tail, previous[0], previous[1], 0)
-        self._ev_os_tick = last_tick
-        return previous
-
-    def ev_serve_begin(self, j: int) -> None:
-        """Lite begin of tick ``j`` ahead of serving a routed request.
-
-        Resets the per-tick server counters (the only state a request can
-        observe besides the components themselves) and records the
-        pre-serve footprint when a deferred idle gap precedes this tick;
-        clock, OS and uptime settlement happen at the next full sync.
-        """
-        if self._ev_open_tick == j:
-            return
-        sim = self.simulation
-        assert sim is not None
-        self._ev_close_open()
-        if not self._ev_segments and self._ev_boundary is None and j - 1 > self._ev_os_tick:
-            self._ev_boundary = (sim.server.memory_footprint_mb(), sim.thread_pool.busy_workers + 1)
-        sim.server.begin_tick()
-        sim.database.begin_tick()
-        self._ev_open_tick = j
-        self._ev_open_reqs = 0
-
-    def ev_note_request(self) -> None:
-        """Count one request served in the open lite tick."""
-        self._ev_open_reqs += 1
-
-    def ev_settle_open(self) -> None:
-        """Eagerly close a fully synchronised open tick.
-
-        Called by the engine after an injector drive when no monitoring
-        mark is due this tick, so the node returns to the settled state and
-        its next mark takes the fused fast path.  Requires the state a full
-        :meth:`ev_sync_begin` leaves behind: clock at the open tick, OS
-        settled through the tick before, no recorded segments.
-        """
-        open_tick = self._ev_open_tick
-        if open_tick is None:
-            return
-        sim = self.simulation
-        assert sim is not None
-        assert not self._ev_segments and self._ev_os_tick == open_tick - 1
-        sim.operating_system.update_span(
-            self.config.tick_seconds,
-            1,
-            tomcat_footprint_mb=sim.server.memory_footprint_mb(),
-            busy_threads=sim.thread_pool.busy_workers + 1,
-            requests_first_tick=self._ev_open_reqs,
-        )
-        self._ev_os_tick = open_tick
-        self._ev_open_tick = None
-
-    def ev_sync_begin(self, j: int) -> None:
-        """Full begin of tick ``j``: clock, OS and uptime brought current.
-
-        Needed by observers of the simulation clock (injector drives, the
-        uptime-reading coordinator); equivalent to the reference engine's
-        ``advance_tick`` having run for every tick through ``j``.
-        """
-        sim = self.simulation
-        assert sim is not None
-        if self._ev_open_tick == j:
-            if self._ev_clock_tick() < j:
-                self._ev_replay_os_to(j - 1)
-                self._ev_advance_clock_to(j)
-                sim.heap.set_time(sim.clock.now)
-            return
-        if self._ev_os_tick >= j:
-            # Tick j was already begun AND settled eagerly (a monitoring
-            # mark): there is nothing left to synchronise, and re-opening it
-            # would double-apply its end-of-tick OS update.
-            return
-        self._ev_close_open()
-        self._ev_replay_os_to(j - 1)
-        self._ev_advance_clock_to(j)
-        sim.heap.set_time(sim.clock.now)
-        sim.server.begin_tick()
-        sim.database.begin_tick()
-        self._ev_open_tick = j
-        self._ev_open_reqs = 0
-
     def ev_next_mark_tick(self) -> int | None:
-        """Estimated cluster tick of the next monitoring mark (live nodes).
-
-        The estimate can be one tick early for exotic ``tick_seconds``; the
-        engine self-heals by re-arming the wake until a sample is actually
-        taken.  It is never late for the shipped configurations.
-        """
-        if not self.live or self.simulation is None:
+        """Estimated cluster tick of the next monitoring mark (live nodes)."""
+        if not self.live or self.settlement is None:
             return None
-        tick = self.config.tick_seconds
-        local = first_tick_at_or_after(self.simulation.collector.next_due_time(), tick)
-        if tick != 1.0 and local > 0:
-            local -= 1  # defensive margin against last-bit float disagreement
-        return self._ev_incarnation_begun + max(local, 1)
+        return self.settlement.next_mark_tick()
 
     def ev_next_injector_wake(self, floor_tick: int) -> int | None:
-        """Earliest cluster tick at which this node's injectors need driving.
-
-        Injectors whose ``on_tick`` never acts contribute no wake; injectors
-        without a declared schedule conservatively wake every tick (the
-        base-class horizon is "now").  The engine drives *all* of the node's
-        injectors at a wake -- exactly what the reference engine does every
-        tick -- so one wake per node (the minimum horizon) suffices.
-        """
-        if not self.live or self.simulation is None:
+        """Earliest cluster tick at which this node's injectors need driving."""
+        if not self.live or self.settlement is None:
             return None
-        tick = self.config.tick_seconds
-        local_now = self.simulation.clock.now
-        earliest: int | None = None
-        for injector in self.simulation.injectors:
-            horizon = injector.tick_event_horizon(local_now)
-            if horizon is None:
-                continue
-            local = first_tick_at_or_after(horizon, tick)
-            if tick != 1.0 and local > 0:
-                local -= 1  # same defensive margin as the mark schedule
-            wake = max(self._ev_incarnation_begun + local, floor_tick, 1)
-            if earliest is None or wake < earliest:
-                earliest = wake
-        return earliest
+        return self.settlement.next_injector_wake(floor_tick)
 
     def ev_mark(self, j: int, assigned_ebs: int) -> MonitoringSample | None:
-        """Take tick ``j``'s monitoring mark (eager end-of-tick close).
+        """Take tick ``j``'s monitoring mark and stream it to the monitor.
 
-        Untouched nodes use the simulation's fused settle/begin/sample fast
-        path; nodes with deferred lite state settle first and close through
-        the ordinary ``end_tick``.  Returns ``None`` when the wake-up was
-        scheduled conservatively early (no sample due yet).
+        Returns ``None`` when the wake-up was scheduled conservatively early
+        (no sample due yet).
         """
-        sim = self.simulation
-        assert sim is not None
-        if (
-            self._ev_open_tick is None
-            and not self._ev_segments
-            and self._ev_os_tick == self._ev_clock_tick()
-        ):
-            gap = j - self._ev_os_tick - 1
-            sample = sim.cluster_mark_tick(gap, assigned_ebs)
-            self._ev_add_uptime(gap + 1)
-            self._ev_os_tick = j
-            if sample is not None and self.monitor is not None:
-                self.latest_prediction = self.monitor.observe(sample)
-            return sample
-        if self._ev_open_tick == j:
-            # The node served this tick: catch the clock up, then close the
-            # tick eagerly through the ordinary end_tick.
-            if self._ev_clock_tick() < j:
-                self._ev_replay_os_to(j - 1)
-                self._ev_advance_clock_to(j)
-                sim.heap.set_time(sim.clock.now)
-            sample = self.end_tick(self._ev_open_reqs, assigned_ebs)
-            self._ev_open_tick = None
-            self._ev_os_tick = j
-            return sample
-        # Untouched at j but carrying deferred lite state: settle, begin and
-        # close in one pass, reusing the replay's last-known footprint (the
-        # node's components cannot have changed since it was recorded).
-        self._ev_close_open()
-        known = self._ev_replay_os_to(j - 1)
-        self._ev_advance_clock_to(j)
-        now = sim.clock.now
-        sim.heap.set_time(now)
-        sim.server.begin_tick()
-        sim.database.begin_tick()
-        if known is None:
-            known = (sim.server.memory_footprint_mb(), sim.thread_pool.busy_workers + 1)
-        sim.operating_system.update_span(self.config.tick_seconds, 1, known[0], known[1], 0)
-        self._ev_os_tick = j
-        collector = sim.collector
-        if not collector.due(now):
-            return None
-        sample = collector.collect(
-            now,
-            server=sim.server,
-            operating_system=sim.operating_system,
-            database=sim.database,
-            workload_ebs=assigned_ebs,
-        )
-        sim.trace.samples.append(sample)
-        if self.monitor is not None:
+        assert self.settlement is not None
+        sample = self.settlement.mark(j, assigned_ebs)
+        if sample is not None and self.monitor is not None:
             self.latest_prediction = self.monitor.observe(sample)
         return sample
 
@@ -644,12 +430,13 @@ class ClusterNode:
         but everything before it settles first so the crash is stamped at
         the exact simulation time the reference engine would use.
         """
+        settlement = self.settlement
+        assert settlement is not None
         # Crashes surface while serving or driving injectors, so tick j is
         # the open tick; discard its deferred update before settling.
-        self._ev_open_tick = None
-        self._ev_open_reqs = 0
-        self._ev_replay_os_to(j - 1)
-        self._ev_advance_clock_to(j)
+        settlement.discard_open()
+        settlement.replay_os_to(j - 1)
+        settlement.advance_clock_to(j)
         self.record_crash(crash)
         tick = self.config.tick_seconds
         down_ticks = ticks_until_nonpositive(self._downtime_remaining, tick)
@@ -672,7 +459,8 @@ class ClusterNode:
             # the first downtime tick (the recursive advance_tick call).
             draining_ticks = j - 1 - self._ev_drain_started
             self._drain_remaining = countdown_after(self.drain_seconds, tick, max(draining_ticks, 0))
-            self._ev_settle_through(j - 1)
+            assert self.settlement is not None
+            self.settlement.settle_through(j - 1)
             self._enter_restart(planned=True)
             down_ticks = ticks_until_nonpositive(self._downtime_remaining, tick)
             self._ev_downtime_charged_to = j - 1  # first charged tick is j itself
@@ -680,28 +468,9 @@ class ClusterNode:
             return False
         assert self.state is NodeState.RESTARTING
         self.ev_charge_downtime_to(j - 1)
-        self._start_incarnation()
-        self._ev_incarnation_begun = j - 1
-        self._ev_os_tick = j - 1
-        self._ev_open_tick = None
-        self._ev_open_reqs = 0
-        self._ev_boundary = None
-        self._ev_segments.clear()
+        self._start_incarnation(base_tick=j - 1)
         self._ev_transition_tick = None
         return True
-
-    def _ev_settle_through(self, j: int) -> None:
-        """Settle all lazy state through the *end* of tick ``j``.
-
-        Terminal settlement: used before the node goes down (drain expiry)
-        and at the end of the run.  Every tick through ``j`` ends up fully
-        processed, exactly as the reference engine leaves them.
-        """
-        if self.simulation is None:
-            return
-        self._ev_close_open()
-        self._ev_replay_os_to(j)
-        self._ev_advance_clock_to(j)
 
     def ev_charge_downtime_to(self, j: int) -> None:
         """Charge the downtime of a RESTARTING node through tick ``j``."""
@@ -723,6 +492,7 @@ class ClusterNode:
     def ev_flush(self, final_tick: int) -> None:
         """Settle all lazy accounting through the end of the run."""
         if self.live:
-            self._ev_settle_through(final_tick)
+            assert self.settlement is not None
+            self.settlement.settle_through(final_tick)
         else:
             self.ev_charge_downtime_to(final_tick)

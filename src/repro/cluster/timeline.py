@@ -1,65 +1,17 @@
-"""Exact tick arithmetic of the event-driven cluster engine.
+"""Backward-compatible alias of :mod:`repro.testbed.timeline`.
 
-The event-driven engine promises *bit-for-bit* agreement with the per-second
-reference engine on seeded runs.  That promise lives or dies on tick
-arithmetic: "how many ticks until this countdown elapses?" must land on
-exactly the tick the reference engine's repeated floating-point subtraction
-would land on, not on the tick an algebraic ``ceil(value / tick)`` says.
-
-Two kinds of helpers exist for the two kinds of schedules in the system:
-
-* countdowns (browser think/response timers, drain windows, restart
-  downtimes) are replicated by literally replaying the per-tick subtraction
-  -- a few dozen float operations per scheduled event, exact for every tick
-  size;
-* absolute deadlines ("first tick at or after time T": monitoring marks,
-  injector horizons) use a guarded ceiling on the ``ticks x tick_seconds``
-  product, which is exact because the integer-counting
-  :class:`repro.testbed.clock.SimulationClock` computes ``now`` as that very
-  product.
+The exact tick-arithmetic helpers were born here with the event-driven
+cluster engine; they moved into the testbed layer when the event scheduler
+became shared between the single-server and cluster engines.  Import from
+``repro.testbed.timeline`` in new code.
 """
 
 from __future__ import annotations
 
-import math
+from repro.testbed.timeline import (
+    countdown_after,
+    first_tick_at_or_after,
+    ticks_until_nonpositive,
+)
 
 __all__ = ["ticks_until_nonpositive", "countdown_after", "first_tick_at_or_after"]
-
-
-def ticks_until_nonpositive(value: float, tick_seconds: float) -> int:
-    """Per-tick decrements needed to drive ``value`` to zero or below.
-
-    Replays the reference engines' countdown loops (repeated float
-    subtraction of ``tick_seconds``) so batched fast-forwards stop on
-    exactly the tick the per-second engine would.  Returns 0 when ``value``
-    is already non-positive.
-    """
-    ticks = 0
-    while value > 0:
-        value -= tick_seconds
-        ticks += 1
-    return ticks
-
-
-def countdown_after(value: float, tick_seconds: float, ticks: int) -> float:
-    """The countdown's value after ``ticks`` per-tick decrements (exact replay)."""
-    for _ in range(ticks):
-        value -= tick_seconds
-    return value
-
-
-def first_tick_at_or_after(time_seconds: float, tick_seconds: float) -> int:
-    """Smallest integer ``k`` with ``k * tick_seconds >= time_seconds``.
-
-    The division-based ceiling is only an estimate (float division can be
-    off by one unit in the last place), so the result is corrected against
-    the exact product comparisons the simulation clocks use.
-    """
-    if time_seconds <= 0:
-        return 0
-    k = math.ceil(time_seconds / tick_seconds)
-    while k * tick_seconds < time_seconds:
-        k += 1
-    while k > 0 and (k - 1) * tick_seconds >= time_seconds:
-        k -= 1
-    return k

@@ -9,11 +9,24 @@ limit is reached (the paper's one-hour no-injection training run).
 Mid-run changes -- the essence of the dynamic scenarios of Experiments 4.2
 and 4.4, where injection rates change every 20 or 30 minutes -- are expressed
 as :class:`ScheduledAction` objects: a time plus a callable that receives the
-simulation.
+simulation.  The event-driven engine turns those times into first-class wake
+events, so fast-forwards never skip over a pending action.
 
-Besides the self-driven :meth:`TestbedSimulation.run` loop, the simulation
-exposes a step-wise API (:meth:`~TestbedSimulation.begin`,
-:meth:`~TestbedSimulation.begin_tick`, :meth:`~TestbedSimulation.serve`,
+Two engines share this class, mirroring the cluster's dual-engine pattern:
+
+* :meth:`TestbedSimulation.run` is **event-driven by default**: it delegates
+  to the shared scheduler of :mod:`repro.testbed.events`, which advances the
+  run from interesting event to interesting event (browser request arrivals,
+  monitoring marks, injector firings, scheduled actions) and fast-forwards
+  the gaps in exact batches;
+* :meth:`TestbedSimulation.run_per_second` is the retained tick-everything
+  reference -- the original loop, kept as the executable semantics the event
+  engine is tested against bit-for-bit (``run(engine="per_second")`` reaches
+  it too).
+
+Besides the self-driven run loops, the simulation exposes a step-wise API
+(:meth:`~TestbedSimulation.begin`, :meth:`~TestbedSimulation.begin_tick`,
+:meth:`~TestbedSimulation.serve`,
 :meth:`~TestbedSimulation.drive_injectors`,
 :meth:`~TestbedSimulation.end_tick`,
 :meth:`~TestbedSimulation.record_crash`) so an external driver -- the
@@ -130,12 +143,33 @@ class TestbedSimulation:
 
     # ------------------------------------------------------------------- run
 
-    def run(self, max_seconds: float = 4 * 3600.0) -> Trace:
+    def run(self, max_seconds: float = 4 * 3600.0, engine: str = "event") -> Trace:
         """Run until the server crashes or ``max_seconds`` elapse.
 
         Returns the trace of monitoring samples; the trace's ``crashed`` flag
         and ``crash_time_seconds`` record how the run ended.  A simulation
         object is single-use: call :meth:`run` once.
+
+        ``engine`` selects the loop: ``"event"`` (the default) rides the
+        shared event-driven scheduler of :mod:`repro.testbed.events`;
+        ``"per_second"`` runs the retained tick-everything reference.  Both
+        produce bit-for-bit identical seeded traces.
+        """
+        if engine == "event":
+            from repro.testbed.events import run_event_driven
+
+            return run_event_driven(self, max_seconds)
+        if engine == "per_second":
+            return self.run_per_second(max_seconds)
+        raise ValueError(f"unknown engine {engine!r}; use 'event' or 'per_second'")
+
+    def run_per_second(self, max_seconds: float = 4 * 3600.0) -> Trace:
+        """The tick-everything reference loop (the original engine).
+
+        Advances every emulated browser every simulated second.  Kept as the
+        executable semantics the event-driven engine is golden-tested
+        against, and as a fallback for injectors that violate the
+        ``tick_event_horizon`` contract.
         """
         if max_seconds <= 0:
             raise ValueError("max_seconds must be positive")
@@ -202,7 +236,7 @@ class TestbedSimulation:
         """Advance the clock one tick and prepare every component; return now."""
         now = self.clock.advance()
         self.heap.set_time(now)
-        self._apply_scheduled_actions(now)
+        self.apply_scheduled_actions(now)
         self.server.begin_tick()
         self.database.begin_tick()
         return now
@@ -220,6 +254,9 @@ class TestbedSimulation:
         """
         clock = self.clock
         if idle_gap and self._next_scheduled < len(self._schedule):
+            # Scheduled actions are first-class wake events in the shared
+            # scheduler, so a correctly driven engine never asks to skip one;
+            # this guard catches drivers that violate that contract.
             target_now = (clock.ticks + idle_gap) * self.config.tick_seconds
             if self._schedule[self._next_scheduled].time_seconds <= target_now:
                 raise RuntimeError("cannot fast-forward over a pending scheduled action")
@@ -232,7 +269,7 @@ class TestbedSimulation:
         now = clock.advance(idle_gap + 1)
         self.heap.set_time(now)
         if self._next_scheduled < len(self._schedule):
-            self._apply_scheduled_actions(now)
+            self.apply_scheduled_actions(now)
         self.server.begin_tick()
         self.database.begin_tick()
         if not self.collector.due(now):
@@ -295,7 +332,26 @@ class TestbedSimulation:
         trace.crash_resource = crash.resource
         trace.metadata["crash_message"] = str(crash)
 
-    def _apply_scheduled_actions(self, now: float) -> None:
+    # ------------------------------------------------------ scheduled actions
+
+    @property
+    def has_pending_actions(self) -> bool:
+        """Whether any scheduled action has not been applied yet."""
+        return self._next_scheduled < len(self._schedule)
+
+    def pending_action_time(self) -> float | None:
+        """Time of the next unapplied scheduled action (``None`` when done).
+
+        The event-driven scheduler turns this into a wake event, so mid-run
+        changes apply on exactly the tick the per-second reference would
+        apply them.
+        """
+        if self._next_scheduled >= len(self._schedule):
+            return None
+        return self._schedule[self._next_scheduled].time_seconds
+
+    def apply_scheduled_actions(self, now: float) -> None:
+        """Apply every scheduled action due at or before ``now``, in order."""
         while self._next_scheduled < len(self._schedule) and self._schedule[self._next_scheduled].time_seconds <= now:
             self._schedule[self._next_scheduled].action(self)
             self._next_scheduled += 1

@@ -1,0 +1,758 @@
+"""The shared event-driven simulation core.
+
+One scheduler now serves both engines.  The machinery in this module was
+born inside the event-driven cluster engine (``repro.cluster``), where it
+fast-forwarded whole fleets from interesting event to interesting event; it
+was promoted here so that *stand-alone* testbed runs -- the paper's
+experiments 4.1-4.4, the rejuvenation simulator's epoch generation and every
+cluster training run -- ride the same fast path.
+
+Two layers live here:
+
+``TickSettlement``
+    The exact batched fast-forward of one :class:`TestbedSimulation`.  It
+    owns the deferred per-tick state the per-second reference engine would
+    have produced -- the OS-settlement cursor, the open "lite begun" tick
+    and its request count, and the recorded ``(tick, requests, footprint,
+    busy)`` segments -- and replays it bit-for-bit on demand.  The cluster's
+    :class:`~repro.cluster.node.ClusterNode` delegates all of its settlement
+    to this class (adding only lifecycle on top), and the single-server
+    event loop below drives one instance directly.
+
+``run_event_driven``
+    The event-driven replacement for ``TestbedSimulation.run``'s per-second
+    loop.  Browser request arrivals are scheduled on a heap from each
+    browser's think time, monitoring marks / injector firings / scheduled
+    actions are wake-up events, and the request-serving inner loop is an
+    *inline replay* of the per-second hot path (``TomcatServer.
+    handle_request``, ``random.choices``, the browsers' think-time draws)
+    that produces bit-for-bit identical component state with a fraction of
+    the interpreter overhead.
+
+Exactness contract (shared with the cluster engine, see
+``repro.testbed.timeline``):
+
+* all countdowns replay the reference engine's per-tick float subtraction;
+* the clock counts integer ticks, so batched advances are exact;
+* deferred OS updates replay the per-tick recurrence from recorded
+  segments -- nothing can touch a simulation's components between its own
+  events, so the captured ``(footprint, busy)`` pairs are exactly what the
+  reference engine would have read each tick;
+* scheduled actions are first-class wake events: the engine never
+  fast-forwards across a pending :class:`ScheduledAction`, it wakes on the
+  exact tick the reference engine would apply it.
+
+The single-server loop keeps the simulation clock and the heap's GC-event
+timestamps current at every event tick (unlike cluster nodes, whose GC
+stamps may lag within a monitoring interval), so even the GC event log is
+bit-for-bit identical to the per-second reference.
+
+Scheduled actions may mutate injectors and the workload generator
+(rate changes, ``set_num_browsers``, ``set_mix``); the engine re-arms its
+wake events and re-syncs its workload caches after every action tick.
+Actions must not replace whole components (server, heap, collector).
+"""
+
+from __future__ import annotations
+
+import typing
+from bisect import bisect
+from heapq import heappop, heappush
+from itertools import accumulate
+from math import ceil as _ceil
+from math import log as _log
+from typing import Callable
+
+from repro.testbed.errors import ServerCrash
+from repro.testbed.timeline import first_tick_at_or_after, ticks_until_nonpositive
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.testbed.engine import TestbedSimulation
+    from repro.testbed.monitoring.collector import MonitoringSample, Trace
+
+__all__ = ["TickSettlement", "next_fire_tick", "run_event_driven"]
+
+#: Event kinds of the single-server scheduler, in within-tick processing
+#: order: scheduled actions apply at the tick's begin (like the reference
+#: ``begin_tick``), injectors drive after the tick's requests, and the
+#: monitoring mark closes the tick.
+_ACTION, _MARK, _INJECTOR = 0, 1, 2
+
+
+def next_fire_tick(current: int, response_s: float, think_s: float, tick_seconds: float) -> int:
+    """Tick at which a browser served at ``current`` issues its next request.
+
+    Replays the reference engine's two countdowns: the browser waits out the
+    response (at least one tick -- the per-second loop can only notice a
+    completed response on the following tick), draws its think time on the
+    completion tick, and fires on the tick the think countdown crosses zero.
+    """
+    response_ticks = ticks_until_nonpositive(response_s, tick_seconds)
+    if response_ticks < 1:
+        response_ticks = 1
+    return current + response_ticks + ticks_until_nonpositive(think_s, tick_seconds)
+
+
+class TickSettlement:
+    """Deferred, exactly-replayable per-tick settlement of one simulation.
+
+    Reproduces the per-second reference semantics (``begin_tick`` /
+    ``end_tick`` every tick) while touching the simulation only at
+    "interesting" ticks:
+
+    * serving a request performs a *lite begin* -- only the per-tick
+      counters reset; the clock, OS model and (for cluster nodes) uptime
+      settle later;
+    * each served tick is recorded as a ``(tick, requests, footprint,
+      busy)`` segment, so the deferred per-tick OS updates replay with
+      exactly the inputs the reference engine would have used (nothing can
+      touch a simulation's components between its own events);
+    * monitoring marks settle eagerly, with a fused one-call fast path for
+      request-free spans.
+
+    Parameters
+    ----------
+    simulation:
+        The simulation to settle.  One settlement instance drives one
+        simulation for its whole life (cluster nodes create a fresh one per
+        incarnation).
+    base_tick:
+        Scheduler tick at which the simulation's own clock was zero (0 for
+        stand-alone runs; the rejoin tick for cluster-node incarnations).
+    on_uptime:
+        Optional callback invoked with every batch of clock ticks charged;
+        cluster nodes use it to accumulate their uptime bit-for-bit.
+    """
+
+    __slots__ = (
+        "sim",
+        "base_tick",
+        "_on_uptime",
+        "_os_tick",
+        "_open_tick",
+        "_open_reqs",
+        "_boundary",
+        "_segments",
+        "mark_interval_ticks",
+    )
+
+    def __init__(
+        self,
+        simulation: "TestbedSimulation",
+        base_tick: int = 0,
+        on_uptime: Callable[[int], None] | None = None,
+    ) -> None:
+        self.sim = simulation
+        self.base_tick = base_tick
+        self._on_uptime = on_uptime
+        #: Scheduler tick through which deferred per-tick OS updates settled.
+        self._os_tick = base_tick
+        #: Lite-begun tick awaiting settlement, and its served requests.
+        self._open_tick: int | None = None
+        self._open_reqs = 0
+        #: (footprint, busy) before the first lite tick after a settlement.
+        self._boundary: tuple[float, int] | None = None
+        #: Closed lite ticks: (tick, requests, footprint_after, busy_after).
+        self._segments: list[tuple[int, int, float, int]] = []
+        #: Monitoring cadence in whole ticks (exact for the 1-second tick).
+        self.mark_interval_ticks = first_tick_at_or_after(
+            simulation.config.monitoring_interval_s, simulation.config.tick_seconds
+        )
+
+    # ------------------------------------------------------------------ clock
+
+    def clock_tick(self) -> int:
+        """Scheduler tick the simulation's own clock currently sits at."""
+        return self.base_tick + self.sim.clock.ticks
+
+    def advance_clock_to(self, j: int) -> None:
+        """Advance the simulation clock to tick ``j``, charging uptime."""
+        sim = self.sim
+        ticks = j - self.base_tick - sim.clock.ticks
+        if ticks <= 0:
+            return
+        sim.clock.advance(ticks)
+        if self._on_uptime is not None:
+            self._on_uptime(ticks)
+
+    # ------------------------------------------------------------ lite begins
+
+    def serve_begin(self, j: int) -> None:
+        """Lite begin of tick ``j`` ahead of serving a routed request.
+
+        Resets the per-tick server counters (the only state a request can
+        observe besides the components themselves) and records the
+        pre-serve footprint when a deferred idle gap precedes this tick;
+        clock, OS and uptime settlement happen at the next full sync.
+        """
+        if self._open_tick == j:
+            return
+        sim = self.sim
+        self.close_open()
+        if not self._segments and self._boundary is None and j - 1 > self._os_tick:
+            self._boundary = (sim.server.memory_footprint_mb(), sim.thread_pool.busy_workers + 1)
+        sim.server.begin_tick()
+        sim.database.begin_tick()
+        self._open_tick = j
+        self._open_reqs = 0
+
+    def note_request(self) -> None:
+        """Count one request served in the open lite tick."""
+        self._open_reqs += 1
+
+    def close_open(self) -> None:
+        """Snapshot and close the open lite tick into the segment list."""
+        open_tick = self._open_tick
+        if open_tick is None:
+            return
+        sim = self.sim
+        self._segments.append(
+            (
+                open_tick,
+                self._open_reqs,
+                sim.server.memory_footprint_mb(),
+                sim.thread_pool.busy_workers + 1,
+            )
+        )
+        self._open_tick = None
+
+    def discard_open(self) -> None:
+        """Drop the open lite tick without settling it (crash path).
+
+        The crash tick's own end-of-tick update dies with the run -- the
+        reference engine never runs ``end_tick`` for a crashed tick.
+        """
+        self._open_tick = None
+        self._open_reqs = 0
+
+    # ------------------------------------------------------------- settlement
+
+    def replay_os_to(self, last_tick: int) -> tuple[float, int] | None:
+        """Apply the deferred per-tick OS updates through ``last_tick``.
+
+        Replays every recorded segment with its captured footprint and
+        busy-thread count, the idle gaps between them with the neighbouring
+        segment's state (nothing changes a simulation's components between
+        its own events), and the trailing idle run.  Bit-for-bit equal to
+        the reference engine's per-tick ``OperatingSystem.update`` calls.
+
+        Returns the last (footprint, busy) pair the replay used, or ``None``
+        when it never needed one -- callers whose tick cannot have mutated
+        the components since may reuse it instead of recomputing.
+        """
+        sim = self.sim
+        os_model = sim.operating_system
+        tick = sim.config.tick_seconds
+        cursor = self._os_tick
+        assert last_tick >= cursor, "OS settlement must never move backwards"
+        previous = self._boundary
+        segments = self._segments
+        if segments:
+            for seg_tick, requests, footprint, busy in segments:
+                gap = seg_tick - cursor - 1
+                if gap > 0:
+                    os_model.update_span(tick, gap, previous[0], previous[1], 0)
+                os_model.update_span(tick, 1, footprint, busy, requests)
+                cursor = seg_tick
+                previous = (footprint, busy)
+            segments.clear()
+        self._boundary = None
+        tail = last_tick - cursor
+        if tail > 0:
+            if previous is None:
+                previous = (sim.server.memory_footprint_mb(), sim.thread_pool.busy_workers + 1)
+            os_model.update_span(tick, tail, previous[0], previous[1], 0)
+        self._os_tick = last_tick
+        return previous
+
+    def settle_open(self) -> None:
+        """Eagerly close a fully synchronised open tick.
+
+        Called after an injector drive or action tick when no monitoring
+        mark is due, so the simulation returns to the settled state and its
+        next mark takes the fused fast path.  Requires the state a full
+        :meth:`sync_begin` leaves behind: clock at the open tick, OS settled
+        through the tick before, no recorded segments.
+        """
+        open_tick = self._open_tick
+        if open_tick is None:
+            return
+        sim = self.sim
+        assert not self._segments and self._os_tick == open_tick - 1
+        sim.operating_system.update_span(
+            sim.config.tick_seconds,
+            1,
+            tomcat_footprint_mb=sim.server.memory_footprint_mb(),
+            busy_threads=sim.thread_pool.busy_workers + 1,
+            requests_first_tick=self._open_reqs,
+        )
+        self._os_tick = open_tick
+        self._open_tick = None
+
+    def sync_begin(self, j: int) -> None:
+        """Full begin of tick ``j``: clock, OS, actions and uptime current.
+
+        Needed by observers of the simulation clock (injector drives, the
+        uptime-reading cluster coordinator) and by scheduled actions, which
+        the reference engine applies inside ``begin_tick``; equivalent to
+        the reference loop having run every tick through ``j``.
+        """
+        sim = self.sim
+        if self._open_tick == j:
+            if self.clock_tick() < j:
+                self.replay_os_to(j - 1)
+                self.advance_clock_to(j)
+                sim.heap.set_time(sim.clock.now)
+            return
+        if self._os_tick >= j:
+            # Tick j was already begun AND settled eagerly (a monitoring
+            # mark): there is nothing left to synchronise, and re-opening it
+            # would double-apply its end-of-tick OS update.
+            return
+        self.close_open()
+        self.replay_os_to(j - 1)
+        self.advance_clock_to(j)
+        now = sim.clock.now
+        sim.heap.set_time(now)
+        if sim.has_pending_actions:
+            sim.apply_scheduled_actions(now)
+        sim.server.begin_tick()
+        sim.database.begin_tick()
+        self._open_tick = j
+        self._open_reqs = 0
+
+    def settle_through(self, j: int) -> None:
+        """Settle all lazy state through the *end* of tick ``j``.
+
+        Terminal settlement: used before a cluster node goes down (drain
+        expiry) and at the end of a run.  Every tick through ``j`` ends up
+        fully processed, exactly as the reference engine leaves them.
+        """
+        self.close_open()
+        self.replay_os_to(j)
+        self.advance_clock_to(j)
+
+    # ------------------------------------------------------------------ wakes
+
+    def next_mark_tick(self) -> int:
+        """Estimated scheduler tick of the next monitoring mark.
+
+        The estimate can be one tick early for exotic ``tick_seconds``; the
+        engines self-heal by re-arming the wake until a sample is actually
+        taken.  It is never late for the shipped configurations.
+        """
+        sim = self.sim
+        tick = sim.config.tick_seconds
+        local = first_tick_at_or_after(sim.collector.next_due_time(), tick)
+        if tick != 1.0 and local > 0:
+            local -= 1  # defensive margin against last-bit float disagreement
+        return self.base_tick + max(local, 1)
+
+    def next_injector_wake(self, floor_tick: int) -> int | None:
+        """Earliest scheduler tick at which the injectors need driving.
+
+        Injectors whose ``on_tick`` never acts contribute no wake; injectors
+        without a declared schedule conservatively wake every tick (the
+        base-class horizon is "now").  The engines drive *all* injectors at
+        a wake -- exactly what the reference loops do every tick -- so one
+        wake (the minimum horizon) suffices.
+        """
+        sim = self.sim
+        tick = sim.config.tick_seconds
+        local_now = sim.clock.now
+        earliest: int | None = None
+        for injector in sim.injectors:
+            horizon = injector.tick_event_horizon(local_now)
+            if horizon is None:
+                continue
+            local = first_tick_at_or_after(horizon, tick)
+            if tick != 1.0 and local > 0:
+                local -= 1  # same defensive margin as the mark schedule
+            wake = max(self.base_tick + local, floor_tick, 1)
+            if earliest is None or wake < earliest:
+                earliest = wake
+        return earliest
+
+    # ------------------------------------------------------------------ marks
+
+    def mark(self, j: int, workload_ebs: int) -> "MonitoringSample | None":
+        """Take tick ``j``'s monitoring mark (eager end-of-tick close).
+
+        Untouched simulations use the fused settle/begin/sample fast path;
+        simulations with deferred lite state settle first and close through
+        the ordinary ``end_tick``.  Returns ``None`` when the wake-up was
+        scheduled conservatively early (no sample due yet).
+        """
+        sim = self.sim
+        if self._open_tick is None and not self._segments and self._os_tick == self.clock_tick():
+            gap = j - self._os_tick - 1
+            sample = sim.cluster_mark_tick(gap, workload_ebs)
+            if self._on_uptime is not None:
+                self._on_uptime(gap + 1)
+            self._os_tick = j
+            return sample
+        if self._open_tick == j:
+            # The simulation served this tick: settle the backlog, catch the
+            # clock up if needed, then close eagerly through end_tick.
+            self.replay_os_to(j - 1)
+            if self.clock_tick() < j:
+                self.advance_clock_to(j)
+                sim.heap.set_time(sim.clock.now)
+            sample = sim.end_tick(sim.clock.now, self._open_reqs, workload_ebs)
+            self._open_tick = None
+            self._os_tick = j
+            return sample
+        # Untouched at j but carrying deferred lite state: settle, begin and
+        # close in one pass, reusing the replay's last-known footprint (the
+        # components cannot have changed since it was recorded).
+        self.close_open()
+        known = self.replay_os_to(j - 1)
+        self.advance_clock_to(j)
+        now = sim.clock.now
+        sim.heap.set_time(now)
+        sim.server.begin_tick()
+        sim.database.begin_tick()
+        if known is None:
+            known = (sim.server.memory_footprint_mb(), sim.thread_pool.busy_workers + 1)
+        sim.operating_system.update_span(sim.config.tick_seconds, 1, known[0], known[1], 0)
+        self._os_tick = j
+        collector = sim.collector
+        if not collector.due(now):
+            return None
+        sample = collector.collect(
+            now,
+            server=sim.server,
+            operating_system=sim.operating_system,
+            database=sim.database,
+            workload_ebs=workload_ebs,
+        )
+        sim.trace.samples.append(sample)
+        return sample
+
+
+# --------------------------------------------------------------------- runner
+
+
+def _prep_interactions(sim: "TestbedSimulation"):
+    """Workload caches of the fused serving loop.
+
+    Returns ``(cum_weights, total, hi, prepped)`` where ``prepped[i]`` holds
+    the per-interaction constants of ``interactions[i]``: its servlet, the
+    transient allocation, the base service time and the query count.  The
+    products are computed from the same operands as the per-request path, so
+    precomputing them is bit-for-bit neutral.
+    """
+    interactions, cum_weights, total, hi = sim.workload.interaction_chooser()
+    config = sim.config
+    servlets = sim.server.servlets
+    prepped = [
+        (
+            servlets.get(interaction.name),
+            config.request_memory_mb * interaction.memory_factor,
+            config.base_service_time_s * interaction.service_demand_factor,
+            interaction.db_queries,
+        )
+        for interaction in interactions
+    ]
+    return cum_weights, total, hi, prepped
+
+
+def run_event_driven(sim: "TestbedSimulation", max_seconds: float) -> "Trace":
+    """Run ``sim`` to crash or ``max_seconds`` on the event-driven scheduler.
+
+    Bit-for-bit identical to ``TestbedSimulation.run_per_second`` on every
+    seeded scenario: same monitoring samples, same crash time, same GC event
+    log, same component state (the golden tests in
+    ``tests/testbed/test_event_engine_golden.py`` pin all of it).
+    """
+    if max_seconds <= 0:
+        raise ValueError("max_seconds must be positive")
+    trace = sim.begin()
+    config = sim.config
+    tick_s = config.tick_seconds
+    fast_tick = tick_s == 1.0
+    final_tick = first_tick_at_or_after(max_seconds, tick_s)
+    settle = TickSettlement(sim)
+
+    clock = sim.clock
+    workload = sim.workload
+    server = sim.server
+    heap_ = sim.heap
+    pool = sim.thread_pool
+    db = sim.database
+
+    # Hot-loop constants of the inline serving replay.
+    young_cap = heap_.young_capacity_mb
+    old_max = heap_.old_max_mb
+    headroom_denom = old_max if old_max >= 1.0 else 1.0  # max(old_max_mb, 1.0)
+    cores4 = config.cpu_cores * 4.0
+    base_workers = pool.base_threads
+    max_conn = db.max_connections
+    base_query = db.base_query_time_s
+    mean_think = workload.mean_think_time_s
+    think_lambd = 1.0 / mean_think  # expovariate's lambd, hoisted
+    think_cap = 10.0 * mean_think  # browser._MAX_THINK_FACTOR * mean
+
+    # Wake events: (tick, kind) heap.
+    events: list[tuple[int, int]] = []
+    heappush(events, (settle.next_mark_tick(), _MARK))
+    wake = settle.next_injector_wake(1)
+    if wake is not None:
+        heappush(events, (wake, _INJECTOR))
+    action_time = sim.pending_action_time()
+    if action_time is not None:
+        heappush(events, (max(first_tick_at_or_after(action_time, tick_s), 1), _ACTION))
+
+    # Browser fires: (tick, browser_id, index, browser, rng.random) heap.
+    # The browser_id tie-break reproduces the reference engine's in-tick
+    # ordering (the population list is always ascending in browser_id)
+    # without ever comparing browser objects, the stored object lets stale
+    # entries -- left behind by a mid-run ``set_num_browsers`` -- be skipped
+    # by identity, and the pre-bound ``random`` shaves the per-request
+    # attribute walk off the browser's private stream.
+    browsers = workload.browser_population()
+    nbrowsers = len(browsers)
+    fires = [
+        (ticks_until_nonpositive(b._remaining_think_s, tick_s), b.browser_id, idx, b, b._rng.random)
+        for idx, b in enumerate(browsers)
+    ]
+    fires.sort()
+    cum_weights, weights_total, weights_hi, prepped = _prep_interactions(sim)
+
+    # Hot-loop local bindings (globals and bound methods resolved once).
+    push = heappush
+    pop = heappop
+    pick = bisect
+    ceil_ = _ceil
+    log_ = _log
+    segments = settle._segments
+    stack_mb = config.thread_stack_mb
+    jvm_mb = config.jvm_overhead_mb
+    perm_mb = heap_.perm_used_mb
+
+    current = 0
+    while current < final_tick:
+        upcoming = fires[0][0] if fires else None
+        if events and (upcoming is None or events[0][0] < upcoming):
+            upcoming = events[0][0]
+        if upcoming is None or upcoming > final_tick:
+            break
+        current = upcoming
+
+        action_due = mark_due = injector_due = False
+        while events and events[0][0] == current:
+            kind = heappop(events)[1]
+            if kind == _ACTION:
+                action_due = True
+            elif kind == _MARK:
+                mark_due = True
+            else:
+                injector_due = True
+
+        if action_due or injector_due:
+            # Full begin: clock, OS backlog, scheduled actions (exactly the
+            # reference begin_tick order: actions apply after the clock and
+            # heap time move, before the per-tick counter resets).
+            settle.sync_begin(current)
+            if action_due:
+                action_time = sim.pending_action_time()
+                if action_time is not None:
+                    heappush(
+                        events,
+                        (max(first_tick_at_or_after(action_time, tick_s), current + 1), _ACTION),
+                    )
+                # Actions may have changed rates, the mix or the population:
+                # re-sync the workload caches, schedule any fresh browsers
+                # (first ticked this very tick, like the reference), and
+                # re-arm the injector wake from the new horizons.
+                browsers = workload.browser_population()
+                nbrowsers = len(browsers)
+                cum_weights, weights_total, weights_hi, prepped = _prep_interactions(sim)
+                live_ids = {entry[1] for entry in fires}
+                for idx, browser in enumerate(browsers):
+                    if browser.browser_id not in live_ids:
+                        first = current - 1 + ticks_until_nonpositive(
+                            browser._remaining_think_s, tick_s
+                        )
+                        push(
+                            fires,
+                            (max(first, current), browser.browser_id, idx, browser, browser._rng.random),
+                        )
+                wake = settle.next_injector_wake(current)
+                if wake is not None:
+                    if wake == current:
+                        injector_due = True
+                    else:
+                        heappush(events, (wake, _INJECTOR))
+            tick_begun = True
+        else:
+            tick_begun = False
+
+        # ------------------------------------------------- this tick's requests
+        if fires and fires[0][0] == current:
+            if not tick_begun:
+                # Lite begin plus eager clock, inlined from TickSettlement.
+                # serve_begin / advance_clock_to and SimulationClock /
+                # GenerationalHeap.set_time (the OS settles lazily from the
+                # recorded segment, but GC events keep exact timestamps).
+                open_tick = settle._open_tick
+                if open_tick is not None:
+                    # close_open with the memory_footprint_mb sum inlined
+                    segments.append(
+                        (
+                            open_tick,
+                            settle._open_reqs,
+                            heap_._young_used
+                            + (heap_._old_leaked + heap_._old_retained + heap_._old_floating)
+                            + perm_mb
+                            + (pool._peak_workers + pool._leaked) * stack_mb
+                            + jvm_mb,
+                            pool._busy_workers + 1,
+                        )
+                    )
+                    settle._open_tick = None
+                elif not segments and settle._boundary is None and current - 1 > settle._os_tick:
+                    settle._boundary = (
+                        server.memory_footprint_mb(),
+                        pool._busy_workers + 1,
+                    )
+                server._concurrent_this_tick = 0  # server.begin_tick
+                db._active_connections = 0  # database.begin_tick
+                settle._open_tick = current
+                settle._open_reqs = 0
+                clock._ticks = current  # advance_clock_to, one batched advance
+                heap_._now = current * tick_s  # heap.set_time(clock.now)
+            # Fused inline replay of the per-second serving path.  Each block
+            # mirrors one callee of the reference loop -- random.choices,
+            # ThreadPool.set_concurrency, Servlet.invoke, GenerationalHeap.
+            # allocate_transient (single-chunk case), MySQLServer.
+            # execute_queries, TomcatServer handle_request/_contention_factor,
+            # EmulatedBrowser start_request + complete_request_and_rethink --
+            # with identical operations in identical order, so every float,
+            # every counter and every RNG stream stays bit-for-bit equal.
+            concurrent = 0
+            avail = pool.max_threads - pool._leaked
+            peak = pool._peak_workers
+            served = 0
+            rt_since = server.response_time_since_sample
+            queued_since = server.queued_since_sample
+            db_active = 0  # reset by the tick's database.begin_tick
+            db_queries = 0
+            try:
+                while fires and fires[0][0] == current:
+                    entry = pop(fires)
+                    idx = entry[2]
+                    browser = entry[3]
+                    if idx >= nbrowsers or browsers[idx] is not browser:
+                        continue  # replaced by a mid-run population change
+                    rand = entry[4]
+                    choice = pick(cum_weights, rand() * weights_total, 0, weights_hi)
+                    servlet, transient_mb, service_time, queries = prepped[choice]
+                    # -- ThreadPool.set_concurrency
+                    concurrent += 1
+                    busy = concurrent if concurrent < avail else avail
+                    needed = busy if busy > base_workers else base_workers
+                    if needed > peak:
+                        peak = needed if needed < avail else avail
+                    queued = concurrent > peak
+                    # -- Servlet.invoke (listeners may inject leaks and crash)
+                    servlet.invocations += 1
+                    listeners = servlet._listeners
+                    if listeners:
+                        for listener in listeners:
+                            listener(servlet)
+                    # -- GenerationalHeap.allocate_transient, single-chunk case
+                    young = heap_._young_used
+                    if 0.0 < transient_mb < young_cap - young:
+                        young += transient_mb
+                        heap_._young_used = young
+                        if young >= young_cap:
+                            heap_._minor_gc()
+                    else:
+                        heap_.allocate_transient(transient_mb)
+                    # -- MySQLServer.execute_queries
+                    if queries:
+                        db_active = db_active + 1 if db_active < max_conn else max_conn
+                        db_queries += queries
+                        db_time = queries * base_query * (1.0 + db_active / max_conn)
+                    else:
+                        db_time = 0.0
+                    # -- TomcatServer._contention_factor and response time
+                    headroom = (
+                        old_max - (heap_._old_leaked + heap_._old_retained + heap_._old_floating)
+                    ) / headroom_denom
+                    if headroom < 0.10:
+                        factor = 1.0 + concurrent / cores4 + (0.10 - headroom) * 30.0
+                    else:
+                        factor = 1.0 + concurrent / cores4 + 0.0
+                    response_time = service_time * factor + db_time
+                    if queued:
+                        response_time = response_time + service_time
+                        queued_since += 1
+                    served += 1
+                    rt_since += response_time
+                    # -- the browser completes eagerly and rethinks; the think
+                    #    draw replays Random.expovariate on the same stream
+                    browser.requests_issued += 1
+                    browser.requests_completed += 1
+                    think = -log_(1.0 - rand()) / think_lambd
+                    if think > think_cap:
+                        think = think_cap
+                    browser._remaining_think_s = think
+                    if fast_tick:
+                        next_fire = (
+                            current
+                            + (1 if response_time <= 1.0 else ceil_(response_time))
+                            + ceil_(think)
+                        )
+                    else:
+                        next_fire = next_fire_tick(current, response_time, think, tick_s)
+                    push(fires, (next_fire, entry[1], idx, browser, rand))
+            except ServerCrash as crash:
+                settle.discard_open()
+                settle.replay_os_to(current - 1)
+                sim.record_crash(clock.now, crash)
+            finally:
+                if concurrent:
+                    server._concurrent_this_tick = concurrent
+                    pool._busy_workers = concurrent if concurrent < avail else avail
+                    pool._peak_workers = peak
+                    server.total_requests += served
+                    server.requests_since_sample += served
+                    server.response_time_since_sample = rt_since
+                    server.queued_since_sample = queued_since
+                    db._active_connections = db_active
+                    db.total_queries += db_queries
+                    settle._open_reqs = concurrent
+            if trace.crashed:
+                break
+
+        # ------------------------------------------------------- injector drives
+        if injector_due:
+            try:
+                sim.drive_injectors(clock.now)
+            except ServerCrash as crash:
+                settle.discard_open()
+                settle.replay_os_to(current - 1)
+                sim.record_crash(clock.now, crash)
+                break
+            wake = settle.next_injector_wake(current + 1)
+            if wake is not None:
+                heappush(events, (wake, _INJECTOR))
+
+        # ------------------------------------------------------ monitoring mark
+        if mark_due:
+            sample = settle.mark(current, workload.num_browsers)
+            if sample is not None and fast_tick:
+                # One-second ticks make the cadence exact in whole ticks.
+                heappush(events, (current + settle.mark_interval_ticks, _MARK))
+            else:
+                heappush(events, (max(settle.next_mark_tick(), current + 1), _MARK))
+        elif tick_begun:
+            # Close the synchronised tick now so the next mark stays on the
+            # fused fast path.
+            settle.settle_open()
+
+    if not trace.crashed:
+        settle.settle_through(final_tick)
+    return trace

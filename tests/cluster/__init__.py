@@ -1,0 +1,1 @@
+"""Test package (namespacing keeps same-named test modules distinct)."""

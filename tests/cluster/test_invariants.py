@@ -1,9 +1,10 @@
-"""Invariant/property harness for the event-driven cluster engine.
+"""Invariant/property harness for the event-driven engines.
 
 Seeded random fleets -- size, workload, scenario kind, heterogeneity,
 routing policy, restart cost model all drawn from a seeded generator -- are
-run through the engine with instrumented routing and coordination wrappers,
-and checked against the invariants every correct fleet run must satisfy:
+run through the cluster engine with instrumented routing and coordination
+wrappers, and checked against the invariants every correct fleet run must
+satisfy:
 
 * availability lies in [0, 1], fleet-wide and per node;
 * every request a browser issued was either served or rejected
@@ -12,6 +13,12 @@ and checked against the invariants every correct fleet run must satisfy:
 * the rolling coordinator never drains below its capacity floor;
 * the time accounting is conserved (capacity, outage and degraded seconds
   never exceed the horizon; per-node uptime plus downtime never exceeds it).
+
+The single-server parity auditor at the bottom applies the same discipline
+to stand-alone ``TestbedSimulation`` runs: at every monitoring mark, every
+request the workload generator issued must be accounted for by the server
+(issued == served) and by the browsers (completed + in-flight == issued),
+under both the event-driven engine and the per-second reference.
 """
 
 import random
@@ -27,6 +34,10 @@ from repro.cluster.engine import ClusterEngine
 from repro.cluster.node import NodeState
 from repro.cluster.routing import AgingAwareRouting, LeastConnectionsRouting, RoundRobinRouting
 from repro.experiments.scenarios import CLUSTER_SCENARIO_KINDS, ClusterScenario
+from repro.testbed.config import TestbedConfig
+from repro.testbed.engine import TestbedSimulation
+from repro.testbed.faults.memory_leak import MemoryLeakInjector
+from repro.testbed.monitoring.collector import MetricsCollector
 
 
 class RoutingAuditor(RoundRobinRouting):
@@ -179,3 +190,64 @@ class TestScenarioKindExperiments:
         rolling = result.rolling_predictive
         assert rolling.full_outage_seconds == 0.0
         assert rolling.crashes == 0
+
+
+class ConservationCollector(MetricsCollector):
+    """A metrics collector that audits request conservation at every mark.
+
+    Whichever engine drives the run, ``collect`` is called exactly once per
+    monitoring mark, after the mark tick's requests were served -- the same
+    observation point for both engines.  At that point every request the
+    workload generator issued must have reached the server (single-server
+    runs route nothing and drop nothing), and every browser must be either
+    done with its request or still waiting out the response:
+
+    * ``issued == served`` (the server's lifetime request counter);
+    * ``completed + in_flight == issued`` (the per-second reference keeps
+      browsers waiting across ticks; the event engine completes them eagerly
+      and keeps zero in flight -- both satisfy the balance).
+    """
+
+    def __init__(self, interval_seconds, simulation):
+        super().__init__(interval_seconds)
+        self._simulation = simulation
+        self.marks_audited = 0
+
+    def collect(self, time_seconds, server, operating_system, database, workload_ebs):
+        workload = self._simulation.workload
+        issued = workload.total_requests_issued
+        completed = workload.total_requests_completed
+        in_flight = sum(1 for browser in workload.browser_population() if browser.is_waiting)
+        assert issued == server.total_requests, (
+            f"t={time_seconds:.0f}s: workload issued {issued} requests "
+            f"but the server served {server.total_requests}"
+        )
+        assert completed + in_flight == issued, (
+            f"t={time_seconds:.0f}s: {completed} completed + {in_flight} in flight "
+            f"!= {issued} issued"
+        )
+        self.marks_audited += 1
+        return super().collect(time_seconds, server, operating_system, database, workload_ebs)
+
+
+@pytest.mark.parametrize("engine", ["event", "per_second"])
+@pytest.mark.parametrize("inject", [False, True])
+def test_single_server_request_conservation(engine, inject):
+    """Both single-server engines conserve requests at every mark."""
+    config = TestbedConfig(
+        heap_max_mb=160.0,
+        young_capacity_mb=16.0,
+        old_initial_mb=48.0,
+        old_resize_step_mb=32.0,
+        perm_mb=16.0,
+        max_threads=96,
+        base_worker_threads=16,
+    )
+    injectors = [MemoryLeakInjector(n=5, seed=77)] if inject else []
+    simulation = TestbedSimulation(config=config, workload_ebs=40, injectors=injectors, seed=77)
+    auditor = ConservationCollector(config.monitoring_interval_s, simulation)
+    simulation.collector = auditor
+    trace = simulation.run(max_seconds=2400.0, engine=engine)
+    assert auditor.marks_audited == len(trace.samples)
+    assert auditor.marks_audited >= 10
+    assert trace.crashed == inject
