@@ -2,7 +2,7 @@
 
 The paper predicts the time to crash of one Tomcat+MySQL server and restarts
 it before the failure.  This example scales that loop to the setting real
-deployments face -- a fleet of aging servers behind a load balancer -- and
+deployments face — a fleet of aging servers behind a load balancer — and
 compares three ways of operating it on the same seeded scenario:
 
 1. no rejuvenation: every node runs to its crash;
@@ -16,10 +16,11 @@ compares three ways of operating it on the same seeded scenario:
    nodes are drained and restarted one at a time under a minimum-capacity
    floor.
 
-The fleet runs on the event-driven ``ClusterEngine``: nodes advance in
-exact batches between interesting events (requests, monitoring marks,
-injector firings, drains and restarts) instead of paying a Python loop over
-every node every simulated second.  Pick the fleet aging scenario with::
+The comparison runs through the unified API — equivalently::
+
+    repro run cluster --scale small -p kind=memory --out results/cluster.json
+
+Pick the fleet aging scenario with::
 
     python examples/cluster_rolling_rejuvenation.py [memory|threads|two_resource]
 
@@ -30,62 +31,54 @@ exhausts first.
 
 import sys
 
-from repro.experiments import ClusterScenario, run_cluster_experiment
+from repro import api
+
+POLICIES = ("no_rejuvenation", "time_based", "rolling_predictive")
 
 
 def main() -> None:
     kind = sys.argv[1] if len(sys.argv) > 1 else "memory"
-    scenario = ClusterScenario.fast(kind=kind)
-    faults = {
-        "memory": f"N={scenario.memory_n} memory leak",
-        "threads": f"M={scenario.thread_m}/T={scenario.thread_t}s thread leak",
-        "two_resource": (
-            f"N={scenario.memory_n} memory leak + "
-            f"M={scenario.thread_m}/T={scenario.thread_t}s thread leak"
-        ),
-    }[kind]
-    print(
-        f"Operating a {scenario.num_nodes}-node fleet ({scenario.total_ebs} emulated browsers, "
-        f"{faults}) for {scenario.horizon_seconds / 3600.0:.0f} h "
-        "under three strategies...\n"
-    )
-    result = run_cluster_experiment(scenario)
+    spec = api.get_spec("cluster")
+    print(f"{spec.description}\n  fleet aging scenario: {kind}\n")
 
+    result = api.run("cluster", scale="small", kind=kind)
+
+    training_crashes = result.series["training_crash_seconds"]
     print(
-        f"Predictor trained on {len(result.training_crash_seconds)} failure runs "
-        f"(crashes at {', '.join(f'{t:.0f}s' for t in result.training_crash_seconds)}); "
-        f"time-based baseline restarts every {result.time_based_interval_seconds:.0f}s.\n"
+        f"Predictor trained on {len(training_crashes)} failure runs "
+        f"(crashes at {', '.join(f'{t:.0f}s' for t in training_crashes)}); "
+        f"time-based baseline restarts every "
+        f"{result.metrics['time_based_interval_seconds']:.0f}s.\n"
     )
 
     header = (
-        f"{'strategy':28s}{'availability':>14s}{'full outage':>13s}{'crashes':>9s}"
-        f"{'restarts':>10s}{'min active':>12s}{'served':>9s}"
+        f"{'strategy':22s}{'availability':>14s}{'full outage':>13s}{'crashes':>9s}"
+        f"{'restarts':>10s}{'served':>9s}"
     )
     print(header)
     print("-" * len(header))
-    for name, outcome in result.outcomes().items():
+    for policy in POLICIES:
         print(
-            f"{name:28s}{outcome.availability:>14.4f}{outcome.full_outage_seconds:>12.0f}s"
-            f"{outcome.crashes:>9d}{outcome.rejuvenations:>10d}"
-            f"{f'{outcome.min_active_nodes}/{outcome.num_nodes}':>12s}"
-            f"{outcome.request_success_rate:>9.2%}"
+            f"{policy:22s}"
+            f"{result.metrics[f'{policy}.availability']:>14.4f}"
+            f"{result.metrics[f'{policy}.full_outage_seconds']:>12.0f}s"
+            f"{result.metrics[f'{policy}.crashes']:>9d}"
+            f"{result.metrics[f'{policy}.rejuvenations']:>10d}"
+            f"{result.metrics[f'{policy}.request_success_rate']:>9.2%}"
         )
 
-    rolling = result.rolling_predictive
-    print("\nPer-node accounting of the rolling predictive fleet:")
-    for node in rolling.per_node:
-        print(
-            f"  node {node.node_id}: availability {node.availability:.4f}, "
-            f"{node.rejuvenations} rolling restarts, {node.crashes} crashes, "
-            f"{node.requests_served} requests served"
-        )
+    print("\nPer-node availability of the rolling predictive fleet:")
+    for node_id, availability in enumerate(result.series["rolling_predictive.per_node_availability"]):
+        print(f"  node {node_id}: {availability:.4f}")
 
     print(
         "\nCoordinated rolling predictive rejuvenation "
-        + ("wins" if result.rolling_wins() else "does NOT win")
+        + ("wins" if result.metrics["rolling_wins"] else "does NOT win")
         + ": strictly higher fleet availability than both baselines and "
-        f"{rolling.full_outage_seconds:.0f} seconds of full outage."
+        f"{result.metrics['rolling_predictive.full_outage_seconds']:.0f} seconds of full outage."
     )
+    print(f"\n(ran in {result.wall_clock_seconds:.1f}s; "
+          "serialize it with: repro run cluster --scale small --out results/cluster.json)")
 
 
 if __name__ == "__main__":

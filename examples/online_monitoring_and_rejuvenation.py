@@ -7,17 +7,20 @@ example reproduces that loop on the simulated testbed:
 
 1. train the predictor on historical failure runs;
 2. stream a new run's monitoring marks one by one through
-   ``OnlineAgingMonitor`` -- exactly what an agent on the server would do;
+   ``OnlineAgingMonitor`` — exactly what an agent on the server would do;
 3. raise the rejuvenation alarm when the predicted time to failure falls
    below a safety threshold;
 4. compare three operation policies (do nothing, restart every hour,
-   restart when the predictor says so) over a long horizon.
+   restart when the predictor says so) over a long horizon — first on one
+   server with the library, then at fleet scale through the unified
+   ``repro.api`` entry point (``repro run cluster --scale small``).
 
 Run it with::
 
     python examples/online_monitoring_and_rejuvenation.py
 """
 
+from repro import api
 from repro.core import AgingPredictor, OnlineAgingMonitor, format_duration
 from repro.rejuvenation import (
     NoRejuvenationPolicy,
@@ -62,7 +65,7 @@ def main() -> None:
         margin = live_trace.crash_time_seconds - monitor.alarm_time
         print(f"  the alarm fired {format_duration(margin)} before the actual crash")
 
-    print("\nComparing rejuvenation policies over a 12-hour horizon...")
+    print("\nComparing rejuvenation policies over a 12-hour horizon (one server)...")
     horizon = 12 * 3600.0
 
     def factory(epoch: int):
@@ -76,6 +79,16 @@ def main() -> None:
     for policy in policies:
         outcome = simulate_policy(policy, factory, horizon_seconds=horizon)
         print(f"  {outcome.summary()}")
+
+    print("\nThe same comparison at fleet scale, through the unified API")
+    print("(equivalently: repro run cluster --scale small --out results/cluster.json)...")
+    fleet = api.run("cluster", scale="small")
+    for policy in ("no_rejuvenation", "time_based", "rolling_predictive"):
+        print(
+            f"  {policy:20s} availability {fleet.metrics[f'{policy}.availability']:.4f}, "
+            f"full outage {fleet.metrics[f'{policy}.full_outage_seconds']:.0f}s"
+        )
+    print(f"  rolling predictive wins: {fleet.metrics['rolling_wins']}")
 
 
 if __name__ == "__main__":

@@ -1,69 +1,56 @@
-"""Quickstart: predict the time to failure of an aging web application.
+"""Quickstart: the unified experiment API in five lines.
 
-This example walks through the whole pipeline of the paper in a few lines:
+Every experiment of the reproduction — the Section 4 drivers, the motivating
+figures, the ablations and the fleet-scale cluster comparison — is a named
+entry in one registry and runs through one call::
 
-1. simulate two *training* runs of the three-tier TPC-W testbed in which a
-   memory leak is injected through the search servlet until Tomcat crashes;
-2. train the M5P-based ``AgingPredictor`` on the Table 2 variable set
-   (raw metrics plus sliding-window consumption speeds);
-3. simulate a *test* run at a workload never seen during training;
-4. predict the time to failure at every monitoring mark and score the
-   predictions with the paper's measures (MAE, S-MAE, PRE-MAE, POST-MAE).
+    from repro import api
+    result = api.run("exp41", scale="small", seed=7)
 
-Run it with::
+The returned ``RunResult`` is a uniform, serializable envelope: resolved
+parameters, a flat metrics dict, the data series behind the figures, and
+provenance (package version, engine, seed).  ``to_json``/``from_json``
+round-trip it losslessly, and equal seeds give byte-identical JSON.
+
+The same registry powers the command line::
+
+    repro list
+    repro describe exp41
+    repro run exp41 --scale small --seed 7 --out results/exp41.json
+    repro batch 'exp4*' --scale small --out-dir results
+
+Run this script with::
 
     python examples/quickstart.py
 """
 
-from repro.core import AgingPredictor, format_duration
-from repro.testbed import MemoryLeakInjector, TestbedConfig, TestbedSimulation
+from pathlib import Path
 
-
-def simulate_aging_run(workload_ebs: int, n: int, seed: int):
-    """One testbed run with a 1 MB memory leak injected every ~N/2 searches."""
-    config = TestbedConfig().scaled_for_fast_runs(4.0)  # small heap -> quick demo
-    simulation = TestbedSimulation(
-        config=config,
-        workload_ebs=workload_ebs,
-        injectors=[MemoryLeakInjector(n=n, leak_mb=1.0, seed=seed)],
-        seed=seed,
-    )
-    return simulation.run(max_seconds=12 * 3600)
+from repro import api
 
 
 def main() -> None:
-    print("Simulating two training runs (this takes a few seconds)...")
-    training_traces = [
-        simulate_aging_run(workload_ebs=50, n=30, seed=1),
-        simulate_aging_run(workload_ebs=150, n=30, seed=2),
-    ]
-    for trace in training_traces:
-        print(
-            f"  {trace.workload_ebs:>3d} EBs -> crash after {format_duration(trace.crash_time_seconds)}"
-            f" ({len(trace)} monitoring marks)"
-        )
+    print("Registered experiments:")
+    for name in api.list_experiments():
+        spec = api.get_spec(name)
+        print(f"  {name:20s} [{spec.category}] {spec.description}")
 
-    print("Training the M5P aging predictor on the Table 2 variable set...")
-    predictor = AgingPredictor(model="m5p").fit(training_traces)
-    print(f"  model tree: {predictor.num_leaves} leaves, trained on {predictor.num_training_instances} instances")
+    print("\nRunning Experiment 4.1 (Table 3) at the small scale...")
+    result = api.run("exp41", scale="small", seed=7)
+    print(result.summary())
 
-    print("Simulating a test run at an unseen workload (100 EBs)...")
-    test_trace = simulate_aging_run(workload_ebs=100, n=30, seed=7)
-    print(f"  crash after {format_duration(test_trace.crash_time_seconds)}")
+    print("\nM5P versus Linear Regression on the unseen test workloads:")
+    for workload in (int(w) for w in result.series["test_workloads"]):
+        m5p = result.metrics[f"{workload}ebs.m5p.mae_seconds"]
+        linear = result.metrics[f"{workload}ebs.linear.mae_seconds"]
+        print(f"  {workload:3d} EBs: M5P MAE {m5p:7.1f}s   LinReg MAE {linear:7.1f}s")
+    print(f"  M5P wins on every workload: {result.metrics['m5p_wins']}")
 
-    evaluation = predictor.evaluate_trace(test_trace)
-    print("Prediction accuracy on the unseen run:")
-    print(f"  {evaluation.summary()}")
-
-    predictions = predictor.predict_trace(test_trace)
-    true_ttf = test_trace.time_to_failure()
-    print("Sample predictions (true vs predicted time to failure):")
-    for index in range(0, len(test_trace), max(len(test_trace) // 8, 1)):
-        print(
-            f"  t={test_trace.samples[index].time_seconds:7.0f}s"
-            f"  true {format_duration(true_ttf[index]):>15s}"
-            f"  predicted {format_duration(predictions[index]):>15s}"
-        )
+    out_file = Path("results") / "exp41-small.json"
+    out_file.parent.mkdir(parents=True, exist_ok=True)
+    out_file.write_text(result.to_json() + "\n")
+    reloaded = api.RunResult.from_json(out_file.read_text())
+    print(f"\nSerialized to {out_file} and reloaded: lossless = {reloaded == result}")
 
 
 if __name__ == "__main__":

@@ -4,108 +4,74 @@ Section 4.4 of the paper ends with an observation the authors highlight as a
 contribution in its own right: the structure of the learned M5P tree tells
 an administrator *which resources* are implicated in the approaching
 failure.  In their two-resource experiment the root of the tree tested the
-system memory and the second level tested the number of threads -- exactly
+system memory and the second level tested the number of threads — exactly
 the two resources being injected.
 
-This example reproduces that workflow:
-
-1. train the predictor on single-resource failure runs (memory-only and
-   thread-only), as in Experiment 4.4;
-2. let the testbed age through *both* resources at once -- a combination the
-   model never saw;
-3. print the learned tree, the ranked split variables and the implicated
-   resources.
+The whole workflow is one call on the unified API (equivalently
+``repro run exp44 --scale small``): train on single-resource failure runs,
+age both resources at once — a combination the model never saw — and
+inspect the ranked split variables.  The ``RunResult`` envelope carries the
+root-cause scores as plain metrics; the second half of the example then
+digs below the API to print the learned tree itself.
 
 Run it with::
 
     python examples/root_cause_analysis.py
 """
 
-from repro.core import AgingPredictor, analyse_root_cause, format_duration
-from repro.core.feature_selection import select_heap_variables
-from repro.core.features import FeatureCatalog
-from repro.testbed import (
-    MemoryLeakInjector,
-    TestbedConfig,
-    TestbedSimulation,
-    ThreadLeakInjector,
-)
-
-CONFIG = TestbedConfig().scaled_for_fast_runs(4.0)
-WORKLOAD_EBS = 80
-
-
-def memory_run(n: int, seed: int):
-    simulation = TestbedSimulation(
-        config=CONFIG,
-        workload_ebs=WORKLOAD_EBS,
-        injectors=[MemoryLeakInjector(n=n, seed=seed)],
-        seed=seed,
-    )
-    return simulation.run(max_seconds=12 * 3600)
-
-
-def thread_run(m: int, t: int, seed: int):
-    simulation = TestbedSimulation(
-        config=CONFIG,
-        workload_ebs=WORKLOAD_EBS,
-        injectors=[ThreadLeakInjector(m=m, t=t, seed=seed)],
-        seed=seed,
-    )
-    return simulation.run(max_seconds=12 * 3600)
-
-
-def two_resource_run(seed: int):
-    simulation = TestbedSimulation(
-        config=CONFIG,
-        workload_ebs=WORKLOAD_EBS,
-        injectors=[
-            MemoryLeakInjector(n=30, seed=seed),
-            ThreadLeakInjector(m=10, t=60, seed=seed + 1),
-        ],
-        seed=seed,
-    )
-    return simulation.run(max_seconds=12 * 3600)
+from repro import api
+from repro.core import format_duration
 
 
 def main() -> None:
-    print("Training on single-resource failure runs (memory-only, thread-only)...")
-    training = [
-        memory_run(n=15, seed=1),
-        memory_run(n=30, seed=2),
-        thread_run(m=10, t=60, seed=3),
-        thread_run(m=20, t=45, seed=4),
-    ]
-    for trace in training:
-        print(f"  crash from {trace.crash_resource:>7s} after {format_duration(trace.crash_time_seconds)}")
+    print("Running Experiment 4.4 (two aging resources + root cause) through the API...")
+    result = api.run("exp44", scale="small", seed=7)
 
-    # Like the paper's Experiment 4.4, work from the system-level metrics
-    # (no heap internals): the point is to locate the resources from outside.
+    print(f"  crash from {result.metrics['crash_resource']} after "
+          f"{format_duration(result.metrics['test_duration_seconds'])}")
+    print(f"  M5P MAE {format_duration(result.metrics['m5p.mae_seconds'])}, "
+          f"POST-MAE {format_duration(result.metrics['m5p.post_mae_seconds'])}")
+
+    print("\nRoot-cause inspection (from the serialized envelope):")
+    scores = {
+        key.split(".", 1)[1]: value
+        for key, value in result.metrics.items()
+        if key.startswith("root_cause_score.")
+    }
+    for resource, score in sorted(scores.items(), key=lambda item: -item[1]):
+        print(f"  {resource:10s} score {score:.2f}")
+    print(f"  primary implicated resource: {result.metrics['primary_resource']}")
+    print(f"  implicates memory AND threads: {result.metrics['implicates_memory_and_threads']}")
+
+    print("\nBelow the API: the learned tree itself (library-level deep dive)")
+    from repro.core import AgingPredictor, analyse_root_cause
+    from repro.core.feature_selection import select_heap_variables
+    from repro.core.features import FeatureCatalog
+    from repro.experiments.runner import run_memory_leak_trace, run_thread_leak_trace
+    from repro.experiments.scenarios import ExperimentScenarios
+
+    scenarios = ExperimentScenarios.fast(seed=7)
+    training = [
+        run_memory_leak_trace(scenarios.config, 80, n=15, seed=1),
+        run_memory_leak_trace(scenarios.config, 80, n=30, seed=2),
+        run_thread_leak_trace(scenarios.config, 80, m=10, t=60, seed=3),
+        run_thread_leak_trace(scenarios.config, 80, m=20, t=45, seed=4),
+    ]
     catalog = FeatureCatalog()
     heap_names = set(select_heap_variables(catalog))
     feature_names = [name for name in catalog.feature_names if name not in heap_names]
     predictor = AgingPredictor(model="m5p", feature_names=feature_names).fit(training)
 
-    print("\nAging both resources at once (never seen during training)...")
-    test_trace = two_resource_run(seed=20)
-    evaluation = predictor.evaluate_trace(test_trace)
-    print(f"  crash from {test_trace.crash_resource} after {format_duration(test_trace.crash_time_seconds)}")
-    print(f"  prediction accuracy: {evaluation.summary()}")
-
-    print("\nFirst levels of the learned M5P tree:")
+    print("First levels of the learned M5P tree:")
     for line in predictor.describe_model().splitlines()[:12]:
         print(f"  {line}")
-
     report = analyse_root_cause(predictor.model)
-    print("\nRoot-cause inspection:")
-    print(f"  {report.summary()}")
-    print("  variables ranked by tree position:")
+    print("Ranked split variables:")
     for variable in report.variables[:5]:
         print(
-            f"    {variable.name:45s} depth {variable.shallowest_depth}, "
+            f"  {variable.name:45s} depth {variable.shallowest_depth}, "
             f"{variable.split_count} splits, score {variable.score:.2f}"
         )
-    print(f"  primary implicated resource: {report.primary_resource}")
 
 
 if __name__ == "__main__":

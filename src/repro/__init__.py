@@ -21,8 +21,54 @@ contribution:
     data series behind Figures 1–5.
 ``repro.rejuvenation``
     An extension: time-based versus prediction-driven rejuvenation policies.
+``repro.api``
+    The unified experiment API: a registry of declarative
+    :class:`~repro.api.ExperimentSpec`\\ s, the single ``run(name, **params)``
+    entry point, the serializable :class:`~repro.api.RunResult` envelope and
+    the ``repro`` command-line interface (``python -m repro``).
 """
 
-__version__ = "1.0.0"
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+try:  # tomllib is standard only since Python 3.11; 3.10 uses the regex path
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on Python 3.10
+    tomllib = None  # type: ignore[assignment]
+
+
+def _load_version() -> str:
+    """Resolve ``__version__`` from its single source, ``pyproject.toml``.
+
+    A development checkout (``PYTHONPATH=src``) reads the file directly so
+    edits to ``pyproject.toml`` are always authoritative; an installed wheel
+    has no ``pyproject.toml`` next to the package, so the distribution
+    metadata is consulted instead.
+    """
+    pyproject = Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    if pyproject.is_file():
+        if tomllib is not None:
+            with pyproject.open("rb") as handle:
+                loaded = tomllib.load(handle)
+            version = loaded.get("project", {}).get("version")
+            if isinstance(version, str):
+                return version
+        else:
+            match = re.search(
+                r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), flags=re.MULTILINE
+            )
+            if match:
+                return match.group(1)
+    try:
+        from importlib.metadata import PackageNotFoundError, version as dist_version
+
+        return dist_version("repro-aging-prediction")
+    except PackageNotFoundError:  # pragma: no cover - no checkout, no install
+        return "0.0.0+unknown"
+
+
+__version__ = _load_version()
 
 __all__ = ["__version__"]

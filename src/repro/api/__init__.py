@@ -1,0 +1,65 @@
+"""Unified experiment API: one entry point over every driver in the repo.
+
+Instead of five ad-hoc driver signatures, every experiment is a named,
+declaratively specified entry in a registry and runs through one call::
+
+    from repro import api
+
+    result = api.run("exp41", scale="small", seed=7)
+    print(result.summary())
+    text = result.to_json()                  # lossless, byte-stable JSON
+    again = api.RunResult.from_json(text)    # again == result
+
+The same registry powers the ``repro`` command-line interface
+(``repro list`` / ``repro describe`` / ``repro run`` / ``repro batch``, also
+reachable as ``python -m repro``), which writes the serialized envelope to
+disk so scenario sweeps become a data problem instead of a code problem.
+
+Registered experiments
+----------------------
+
+===================  ==========  ====================================================
+name                 category    reproduces
+===================  ==========  ====================================================
+``exp41``            experiment  Experiment 4.1 — deterministic aging (Table 3)
+``exp42``            experiment  Experiment 4.2 — dynamic, rate-changing aging (Fig. 3)
+``exp43``            experiment  Experiment 4.3 — periodic masking pattern + expert
+                                 feature selection (Fig. 4, Table 4)
+``exp44``            experiment  Experiment 4.4 — two aging resources + root cause
+                                 (Fig. 5)
+``figure1``          figure      Figure 1 — nonlinear memory under a constant leak
+``figure2``          figure      Figure 2 — OS-level vs JVM-level view of a periodic
+                                 pattern
+``ablation_window``  ablation    sliding-window length sweep
+``ablation_derived`` ablation    derived consumption-speed variables on/off
+``ablation_smoothing`` ablation  M5P smoothing on/off
+``ablation_margin``  ablation    S-MAE security-margin sweep
+``cluster``          cluster     rolling predictive rejuvenation vs both baselines
+                                 (``kind`` = memory / threads / two_resource)
+===================  ==========  ====================================================
+
+Every spec shares the common parameters ``scale`` (``"small"`` /
+``"paper"``), ``seed`` (master seed, bit-for-bit reproducible) and
+``engine`` (``"event"`` / ``"per_second"``); ``figure2`` adds
+``num_cycles`` and ``cluster`` adds ``kind``.  Use
+``api.get_spec(name).describe()`` — or ``repro describe <name>`` — for the
+full parameter schema of any entry.
+"""
+
+from repro.api.registry import REGISTRY, get_spec, list_experiments, register, run
+from repro.api.result import SCHEMA_VERSION, RunResult
+from repro.api.spec import ENGINES, SCALES, ExperimentSpec, ParamSpec
+
+__all__ = [
+    "ENGINES",
+    "REGISTRY",
+    "RunResult",
+    "SCALES",
+    "SCHEMA_VERSION",
+    "ExperimentSpec",
+    "ParamSpec",
+    "get_spec",
+    "list_experiments",
+    "register",
+    "run",
+]

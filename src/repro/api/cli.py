@@ -1,0 +1,183 @@
+"""The ``repro`` command-line interface over the experiment registry.
+
+Four subcommands, all driven by the declarative specs of
+:mod:`repro.api.registry`:
+
+``repro list``
+    One line per registered experiment (name, category, description).
+``repro describe <name>``
+    The full parameter schema of one experiment.
+``repro run <name> [--scale S] [--seed N] [--engine E] [-p key=value ...]
+[--out PATH] [--timing]``
+    Run one experiment and print its summary; ``--out`` additionally writes
+    the canonical JSON envelope (``-`` for stdout).  Two invocations with
+    the same parameters write byte-identical JSON unless ``--timing`` embeds
+    the wall clock.
+``repro batch <glob> --out-dir DIR [common flags]``
+    Run every experiment whose name matches the shell-style pattern and
+    write one ``<out-dir>/<name>.json`` artifact per run.
+
+Installed as the ``repro`` console script and reachable as
+``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.api.registry import get_spec, list_experiments, run
+from repro.api.spec import ENGINES, SCALES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the registered experiments of the aging-prediction reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list every registered experiment")
+
+    describe = subparsers.add_parser("describe", help="show one experiment's parameter schema")
+    describe.add_argument("name", help="registered experiment name")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    _add_run_arguments(run_parser)
+    run_parser.add_argument("name", help="registered experiment name")
+    run_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the result envelope as canonical JSON ('-' for stdout)",
+    )
+
+    batch = subparsers.add_parser("batch", help="run every experiment matching a pattern")
+    _add_run_arguments(batch)
+    batch.add_argument("pattern", help="shell-style pattern over experiment names, e.g. 'exp4*'")
+    batch.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        default="results",
+        help="directory receiving one <name>.json per run (default: results/)",
+    )
+    return parser
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    """The common spec parameters plus the -p escape hatch for extras."""
+    parser.add_argument("--scale", choices=SCALES, help="testbed scale (default: spec default)")
+    parser.add_argument("--seed", type=int, help="master seed (default: spec default)")
+    parser.add_argument("--engine", choices=ENGINES, help="simulation engine (default: event)")
+    parser.add_argument(
+        "-p",
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="experiment-specific parameter (repeatable), e.g. -p kind=threads",
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="embed the wall clock in the JSON (breaks byte-for-byte stability)",
+    )
+
+
+def _collect_overrides(args: argparse.Namespace) -> dict[str, Any]:
+    overrides: dict[str, Any] = {}
+    for flag in ("scale", "seed", "engine"):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[flag] = value
+    for raw in args.param:
+        key, separator, value = raw.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"repro: -p expects KEY=VALUE, got {raw!r}")
+        overrides[key] = value
+    return overrides
+
+
+def _execute(name: str, overrides: dict[str, Any]):
+    try:
+        return run(name, **overrides)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"repro: {error}") from error
+
+
+def _write_result(result, out: str, timing: bool) -> None:
+    text = result.to_json(include_timing=timing) + "\n"
+    if out == "-":
+        sys.stdout.write(text)
+        return
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    print(f"wrote {path}")
+
+
+def _command_list() -> int:
+    names = list_experiments()
+    width = max(len(name) for name in names)
+    for name in names:
+        spec = get_spec(name)
+        print(f"{name:<{width}}  [{spec.category:<10s}]  {spec.description}")
+    return 0
+
+
+def _command_describe(name: str) -> int:
+    try:
+        spec = get_spec(name)
+    except KeyError as error:
+        raise SystemExit(f"repro: {error.args[0]}") from error
+    print(spec.describe())
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = _execute(args.name, _collect_overrides(args))
+    print(result.summary())
+    if args.out:
+        _write_result(result, args.out, args.timing)
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    matches = [name for name in list_experiments() if fnmatch.fnmatch(name, args.pattern)]
+    if not matches:
+        raise SystemExit(
+            f"repro: no experiment matches {args.pattern!r}; registered: "
+            + ", ".join(list_experiments())
+        )
+    overrides = _collect_overrides(args)
+    print(f"running {len(matches)} experiment(s): {', '.join(matches)}")
+    for name in matches:
+        result = _execute(name, overrides)
+        _write_result(result, str(Path(args.out_dir) / f"{name}.json"), args.timing)
+        headline = (
+            f"  {name}: {len(result.metrics)} metrics, {len(result.series)} series, "
+            f"{result.wall_clock_seconds:.2f}s"
+        )
+        print(headline)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "describe":
+        return _command_describe(args.name)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "batch":
+        return _command_batch(args)
+    raise SystemExit(f"repro: unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

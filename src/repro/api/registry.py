@@ -1,0 +1,450 @@
+"""The experiment registry and the single ``run()`` dispatcher.
+
+Every driver in :mod:`repro.experiments` is wrapped by exactly one
+:class:`~repro.api.spec.ExperimentSpec` here.  An adapter translates the
+driver's bespoke result dataclass into the uniform ``metrics``/``series``
+payload of :class:`~repro.api.result.RunResult`; the legacy dataclasses (and
+their richer methods — formatted tables, figure helpers) remain reachable
+through the original functions.
+
+Scenario resolution is shared: ``scale="small"`` maps to the fast,
+scaled-down scenario configurations the tests use, ``scale="paper"`` to the
+paper-scale ones, and ``seed`` feeds the scenario's master seed — so two
+``run()`` calls with equal parameters produce equal (and equal-serializing)
+results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Any, Callable
+
+import repro
+from repro.api.result import RunResult
+from repro.api.spec import ExperimentSpec, ParamSpec, common_params
+from repro.core.evaluation import PredictionEvaluation
+from repro.experiments.ablations import (
+    run_derived_variable_ablation,
+    run_security_margin_sweep,
+    run_smoothing_ablation,
+    run_window_sweep,
+)
+from repro.experiments.cluster import run_cluster_experiment
+from repro.experiments.exp41 import run_experiment_41
+from repro.experiments.exp42 import run_experiment_42
+from repro.experiments.exp43 import run_experiment_43
+from repro.experiments.exp44 import run_experiment_44
+from repro.experiments.figures import figure1_series, figure2_series
+from repro.experiments.scenarios import CLUSTER_SCENARIO_KINDS, ClusterScenario, ExperimentScenarios
+
+__all__ = ["REGISTRY", "register", "get_spec", "list_experiments", "run"]
+
+#: Name -> spec; insertion order is the presentation order of ``repro list``.
+REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to the registry (names are unique)."""
+    if spec.name in REGISTRY:
+        raise ValueError(f"experiment {spec.name!r} is already registered")
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up one spec, with a helpful error listing valid names."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {name!r}; registered: {known}") from None
+
+
+def list_experiments() -> tuple[str, ...]:
+    """Every registered experiment name, in presentation order."""
+    return tuple(REGISTRY)
+
+
+def run(name: str, **params: Any) -> RunResult:
+    """Run a registered experiment and return the uniform result envelope.
+
+    ``params`` override the spec's declared defaults; unknown names raise.
+    The returned :class:`RunResult` serializes losslessly via ``to_json`` /
+    ``from_json`` and is byte-stable across same-seed runs.
+    """
+    spec = get_spec(name)
+    resolved = spec.resolve(params)
+    started = time.perf_counter()
+    metrics, series = spec.runner(**resolved)
+    elapsed = time.perf_counter() - started
+    return RunResult.build(
+        name=spec.name,
+        description=spec.description,
+        category=spec.category,
+        params=resolved,
+        metrics=metrics,
+        series=series,
+        version=repro.__version__,
+        wall_clock_seconds=elapsed,
+    )
+
+
+# --------------------------------------------------------------------------
+# shared scenario resolution and payload helpers
+# --------------------------------------------------------------------------
+
+
+def _scenarios(scale: str, seed: int) -> ExperimentScenarios:
+    if scale == "small":
+        return ExperimentScenarios.fast(seed=seed)
+    return ExperimentScenarios.paper_scale(seed=seed)
+
+
+def _cluster_scenario(scale: str, seed: int, kind: str) -> ClusterScenario:
+    base = ClusterScenario.fast(kind=kind) if scale == "small" else ClusterScenario.paper_scale(kind=kind)
+    return replace(base, cluster_seed=seed)
+
+
+def _eval_metrics(prefix: str, evaluation: PredictionEvaluation) -> dict[str, Any]:
+    """Flatten one PredictionEvaluation under a dotted metric prefix."""
+    return {
+        f"{prefix}.mae_seconds": evaluation.mae_seconds,
+        f"{prefix}.s_mae_seconds": evaluation.s_mae_seconds,
+        f"{prefix}.pre_mae_seconds": evaluation.pre_mae_seconds,
+        f"{prefix}.post_mae_seconds": evaluation.post_mae_seconds,
+        f"{prefix}.num_samples": evaluation.num_samples,
+    }
+
+
+Payload = tuple[dict[str, Any], dict[str, list[float]]]
+
+
+# --------------------------------------------------------------------------
+# adapters: Section 4 experiments
+# --------------------------------------------------------------------------
+
+
+def _run_exp41(scale: str, seed: int, engine: str) -> Payload:
+    result = run_experiment_41(_scenarios(scale, seed), engine=engine)
+    metrics: dict[str, Any] = {
+        "training_instances": result.training_instances,
+        "m5p_leaves": result.m5p_leaves,
+        "m5p_inner_nodes": result.m5p_inner_nodes,
+        "m5p_wins": bool(result.m5p_wins()),
+    }
+    for (workload, model), evaluation in sorted(result.evaluations.items()):
+        metrics.update(_eval_metrics(f"{workload}ebs.{model}", evaluation))
+    series = {
+        "training_workloads": list(result.training_workloads),
+        "test_workloads": list(result.test_workloads),
+    }
+    return metrics, series
+
+
+def _run_exp42(scale: str, seed: int, engine: str) -> Payload:
+    result = run_experiment_42(_scenarios(scale, seed), engine=engine)
+    metrics: dict[str, Any] = {
+        "training_instances": result.training_instances,
+        "m5p_leaves": result.m5p_leaves,
+        "m5p_inner_nodes": result.m5p_inner_nodes,
+        "test_duration_seconds": result.test_duration_seconds,
+        "adapts_to_injection_start": bool(result.adapts_to_injection_start()),
+    }
+    metrics.update(_eval_metrics("m5p", result.m5p_evaluation))
+    metrics.update(_eval_metrics("linear", result.linear_evaluation))
+    series = {
+        "time_seconds": list(result.times),
+        "predicted_ttf_seconds": list(result.predicted_ttf),
+        "true_ttf_seconds": list(result.true_ttf),
+        "tomcat_memory_mb": list(result.tomcat_memory_mb),
+        "phase_starts_seconds": list(result.phase_starts),
+    }
+    return metrics, series
+
+
+def _run_exp43(scale: str, seed: int, engine: str) -> Payload:
+    result = run_experiment_43(_scenarios(scale, seed), engine=engine)
+    metrics: dict[str, Any] = {
+        "selected_m5p_leaves": result.selected_m5p_leaves,
+        "selected_m5p_inner_nodes": result.selected_m5p_inner_nodes,
+        "test_duration_seconds": result.test_duration_seconds,
+        "selection_helps_m5p": bool(result.selection_helps_m5p()),
+        "m5p_wins": bool(result.m5p_wins()),
+    }
+    metrics.update(_eval_metrics("m5p_selected", result.m5p_selected))
+    metrics.update(_eval_metrics("linear_selected", result.linear_selected))
+    metrics.update(_eval_metrics("m5p_full", result.m5p_full))
+    metrics.update(_eval_metrics("linear_full", result.linear_full))
+    series = {
+        "time_seconds": list(result.times),
+        "true_ttf_seconds": list(result.true_ttf),
+        "predicted_ttf_selected_seconds": list(result.predicted_ttf_selected),
+        "jvm_heap_used_mb": list(result.jvm_heap_used_mb),
+    }
+    return metrics, series
+
+
+def _run_exp44(scale: str, seed: int, engine: str) -> Payload:
+    result = run_experiment_44(_scenarios(scale, seed), engine=engine)
+    metrics: dict[str, Any] = {
+        "training_instances": result.training_instances,
+        "m5p_leaves": result.m5p_leaves,
+        "m5p_inner_nodes": result.m5p_inner_nodes,
+        "test_duration_seconds": result.test_duration_seconds,
+        "crash_resource": result.crash_resource,
+        "primary_resource": result.root_cause.primary_resource,
+        "implicates_memory_and_threads": bool(result.implicates_memory_and_threads()),
+    }
+    metrics.update(_eval_metrics("m5p", result.m5p_evaluation))
+    metrics.update(_eval_metrics("linear", result.linear_evaluation))
+    for resource, score in result.root_cause.resources:
+        metrics[f"root_cause_score.{resource}"] = score
+    series = {
+        "time_seconds": list(result.times),
+        "predicted_ttf_seconds": list(result.predicted_ttf),
+        "true_ttf_seconds": list(result.true_ttf),
+        "tomcat_memory_mb": list(result.tomcat_memory_mb),
+        "num_threads": list(result.num_threads),
+        "phase_starts_seconds": list(result.phase_starts),
+    }
+    return metrics, series
+
+
+# --------------------------------------------------------------------------
+# adapters: motivating figures
+# --------------------------------------------------------------------------
+
+
+def _run_figure1(scale: str, seed: int, engine: str) -> Payload:
+    result = figure1_series(_scenarios(scale, seed), engine=engine)
+    metrics: dict[str, Any] = {
+        "crash_time_seconds": result.crash_time_seconds,
+        "extra_life_seconds": result.extra_life_seconds(),
+        "has_flat_zones": bool(result.has_flat_zones()),
+        "num_old_resizes": len(result.old_resize_times),
+    }
+    series = {
+        "time_seconds": list(result.time_seconds),
+        "os_memory_mb": list(result.os_memory_mb),
+        "jvm_heap_used_mb": list(result.jvm_heap_used_mb),
+        "old_resize_times_seconds": list(result.old_resize_times),
+    }
+    return metrics, series
+
+
+def _run_figure2(scale: str, seed: int, engine: str, num_cycles: int) -> Payload:
+    result = figure2_series(_scenarios(scale, seed), num_cycles=num_cycles, engine=engine)
+    metrics: dict[str, Any] = {
+        "os_view_is_flat_after_warmup": bool(result.os_view_is_flat_after_warmup()),
+        "jvm_view_oscillates": bool(result.jvm_view_oscillates()),
+        "num_phases": len(result.phase_starts),
+    }
+    series = {
+        "time_seconds": list(result.time_seconds),
+        "os_memory_mb": list(result.os_memory_mb),
+        "jvm_heap_used_mb": list(result.jvm_heap_used_mb),
+        "phase_starts_seconds": list(result.phase_starts),
+    }
+    return metrics, series
+
+
+# --------------------------------------------------------------------------
+# adapters: ablations
+# --------------------------------------------------------------------------
+
+
+def _ablation_payload(points) -> Payload:
+    metrics: dict[str, Any] = {}
+    for point in points:
+        metrics[f"{point.label}.mae_seconds"] = point.mae_seconds
+        metrics[f"{point.label}.s_mae_seconds"] = point.s_mae_seconds
+        metrics[f"{point.label}.post_mae_seconds"] = point.post_mae_seconds
+    metrics["num_points"] = len(points)
+    return metrics, {}
+
+
+def _run_ablation_window(scale: str, seed: int, engine: str) -> Payload:
+    return _ablation_payload(run_window_sweep(_scenarios(scale, seed), engine=engine))
+
+
+def _run_ablation_derived(scale: str, seed: int, engine: str) -> Payload:
+    return _ablation_payload(run_derived_variable_ablation(_scenarios(scale, seed), engine=engine))
+
+
+def _run_ablation_smoothing(scale: str, seed: int, engine: str) -> Payload:
+    return _ablation_payload(run_smoothing_ablation(_scenarios(scale, seed), engine=engine))
+
+
+def _run_ablation_margin(scale: str, seed: int, engine: str) -> Payload:
+    return _ablation_payload(run_security_margin_sweep(_scenarios(scale, seed), engine=engine))
+
+
+# --------------------------------------------------------------------------
+# adapter: the cluster comparison
+# --------------------------------------------------------------------------
+
+
+def _run_cluster(scale: str, seed: int, engine: str, kind: str) -> Payload:
+    result = run_cluster_experiment(_cluster_scenario(scale, seed, kind), engine=engine)
+    metrics: dict[str, Any] = {
+        "time_based_interval_seconds": result.time_based_interval_seconds,
+        "training_instances": result.training_instances,
+        "training_runs": len(result.training_crash_seconds),
+        "rolling_wins": bool(result.rolling_wins()),
+    }
+    series: dict[str, list[float]] = {
+        "training_crash_seconds": list(result.training_crash_seconds),
+    }
+    policies = {
+        "no_rejuvenation": result.no_rejuvenation,
+        "time_based": result.time_based,
+        "rolling_predictive": result.rolling_predictive,
+    }
+    for policy, outcome in policies.items():
+        metrics[f"{policy}.availability"] = outcome.availability
+        metrics[f"{policy}.request_success_rate"] = outcome.request_success_rate
+        metrics[f"{policy}.full_outage_seconds"] = outcome.full_outage_seconds
+        metrics[f"{policy}.degraded_seconds"] = outcome.degraded_seconds
+        metrics[f"{policy}.min_active_nodes"] = outcome.min_active_nodes
+        metrics[f"{policy}.crashes"] = outcome.crashes
+        metrics[f"{policy}.rejuvenations"] = outcome.rejuvenations
+        metrics[f"{policy}.served_requests"] = outcome.served_requests
+        metrics[f"{policy}.dropped_requests"] = outcome.dropped_requests
+        metrics[f"{policy}.planned_downtime_seconds"] = outcome.planned_downtime_seconds
+        metrics[f"{policy}.unplanned_downtime_seconds"] = outcome.unplanned_downtime_seconds
+        series[f"{policy}.per_node_availability"] = [
+            node.availability for node in outcome.per_node
+        ]
+    return metrics, series
+
+
+# --------------------------------------------------------------------------
+# the registry itself
+# --------------------------------------------------------------------------
+
+
+def _spec(
+    name: str,
+    description: str,
+    category: str,
+    implementation: str,
+    runner: Callable[..., Payload],
+    extra: tuple[ParamSpec, ...] = (),
+    seed: int = 2010,
+    seed_description: str | None = None,
+) -> ExperimentSpec:
+    params = common_params(seed)
+    if seed_description is not None:
+        params = (params[0], replace(params[1], description=seed_description)) + params[2:]
+    return register(
+        ExperimentSpec(
+            name=name,
+            description=description,
+            category=category,
+            params=params + extra,
+            implementation=implementation,
+            runner=runner,
+        )
+    )
+
+
+_spec(
+    "exp41",
+    "Experiment 4.1: deterministic aging under a constant memory leak (Table 3)",
+    "experiment",
+    "repro.experiments.exp41.run_experiment_41",
+    _run_exp41,
+)
+_spec(
+    "exp42",
+    "Experiment 4.2: dynamic, rate-changing aging (Figure 3)",
+    "experiment",
+    "repro.experiments.exp42.run_experiment_42",
+    _run_exp42,
+)
+_spec(
+    "exp43",
+    "Experiment 4.3: aging hidden in a periodic pattern, expert feature selection (Figure 4, Table 4)",
+    "experiment",
+    "repro.experiments.exp43.run_experiment_43",
+    _run_exp43,
+)
+_spec(
+    "exp44",
+    "Experiment 4.4: two simultaneous aging resources plus root-cause inspection (Figure 5)",
+    "experiment",
+    "repro.experiments.exp44.run_experiment_44",
+    _run_exp44,
+)
+_spec(
+    "figure1",
+    "Figure 1: nonlinear memory consumption under a constant-rate leak",
+    "figure",
+    "repro.experiments.figures.figure1_series",
+    _run_figure1,
+)
+_spec(
+    "figure2",
+    "Figure 2: OS-level versus JVM-level view of a periodic memory pattern",
+    "figure",
+    "repro.experiments.figures.figure2_series",
+    _run_figure2,
+    extra=(
+        ParamSpec(
+            name="num_cycles",
+            type="int",
+            default=5,
+            description="how many normal/acquire/release cycles to simulate",
+        ),
+    ),
+)
+_spec(
+    "ablation_window",
+    "Ablation: M5P accuracy versus sliding-window length",
+    "ablation",
+    "repro.experiments.ablations.run_window_sweep",
+    _run_ablation_window,
+)
+_spec(
+    "ablation_derived",
+    "Ablation: full Table 2 variable set versus raw metrics only",
+    "ablation",
+    "repro.experiments.ablations.run_derived_variable_ablation",
+    _run_ablation_derived,
+)
+_spec(
+    "ablation_smoothing",
+    "Ablation: M5P with and without Quinlan's prediction smoothing",
+    "ablation",
+    "repro.experiments.ablations.run_smoothing_ablation",
+    _run_ablation_smoothing,
+)
+_spec(
+    "ablation_margin",
+    "Ablation: S-MAE versus the security margin (10% in the paper)",
+    "ablation",
+    "repro.experiments.ablations.run_security_margin_sweep",
+    _run_ablation_margin,
+)
+_spec(
+    "cluster",
+    "Fleet extension: rolling predictive rejuvenation versus both baselines",
+    "cluster",
+    "repro.experiments.cluster.run_cluster_experiment",
+    _run_cluster,
+    extra=(
+        ParamSpec(
+            name="kind",
+            type="str",
+            default="memory",
+            description="fleet aging scenario",
+            choices=CLUSTER_SCENARIO_KINDS,
+        ),
+    ),
+    seed=7,
+    seed_description=(
+        "master seed of the fleet operation run (workload stream and node seeds); "
+        "the predictor's historical training runs keep the scenario's fixed seeds"
+    ),
+)

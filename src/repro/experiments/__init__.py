@@ -20,6 +20,14 @@ run the test scenario and score it with the paper's accuracy measures:
 
 ``repro.experiments.scenarios`` holds the shared scenario definitions and
 ``repro.experiments.runner`` the trace-generation helpers they build on.
+
+.. note::
+   Calling the drivers below directly is soft-deprecated for experiment
+   execution: every one of them is registered in :mod:`repro.api` and the
+   preferred entry point is ``repro.api.run(name, **params)`` (or the
+   ``repro`` CLI), which adds uniform ``scale``/``seed``/``engine``
+   parameters and a serializable :class:`~repro.api.RunResult` envelope.
+   The functions remain the underlying implementations and keep working.
 """
 
 from repro.experiments.ablations import (

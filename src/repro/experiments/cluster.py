@@ -83,7 +83,9 @@ class ClusterExperimentResult:
         return [outcome.summary() for outcome in self.outcomes().values()]
 
 
-def generate_cluster_training_traces(scenario: ClusterScenario) -> list[Trace]:
+def generate_cluster_training_traces(
+    scenario: ClusterScenario, engine: str = "event"
+) -> list[Trace]:
     """Single-server failure runs bracketing the per-node fleet workloads.
 
     The training mix follows the scenario kind: memory fleets train on
@@ -94,7 +96,9 @@ def generate_cluster_training_traces(scenario: ClusterScenario) -> list[Trace]:
     underestimates the time to failure when both climb together, and an
     underestimating monitor rejuvenates the fleet into the ground.
     Heterogeneous fleets repeat the runs for every distinct node
-    configuration.
+    configuration.  ``engine`` selects the single-server simulation engine
+    used for the training runs (``"event"`` or ``"per_second"``, bit-for-bit
+    identical given the seeds).
     """
     traces: list[Trace] = []
     for config in scenario.training_configs():
@@ -108,6 +112,7 @@ def generate_cluster_training_traces(scenario: ClusterScenario) -> list[Trace]:
                             n=scenario.memory_n,
                             seed=seed,
                             max_seconds=scenario.training_max_seconds,
+                            engine=engine,
                         )
                     )
                 if scenario.kind != "memory":
@@ -119,6 +124,7 @@ def generate_cluster_training_traces(scenario: ClusterScenario) -> list[Trace]:
                             t=scenario.thread_t,
                             seed=seed,
                             max_seconds=scenario.training_max_seconds,
+                            engine=engine,
                         )
                     )
                 if scenario.kind == "two_resource":
@@ -129,6 +135,7 @@ def generate_cluster_training_traces(scenario: ClusterScenario) -> list[Trace]:
                             phases=[(0.0, scenario.memory_n, scenario.thread_m, scenario.thread_t)],
                             seed=seed,
                             max_seconds=scenario.training_max_seconds,
+                            engine=engine,
                         )
                     )
     crashless = [trace for trace in traces if not trace.crashed]
@@ -194,17 +201,22 @@ def run_cluster_experiment(
     scenario: ClusterScenario | None = None,
     training: list[Trace] | None = None,
     predictor: AgingPredictor | None = None,
+    engine: str = "event",
 ) -> ClusterExperimentResult:
     """Regenerate the three-strategy cluster comparison.
 
-    ``training`` and ``predictor`` may be supplied to reuse already computed
-    runs (the tests share them across fixtures); both are regenerated from
-    the scenario when omitted.
+    Prefer the unified entry point ``repro.api.run("cluster", ...)``; this
+    function remains as the underlying driver.  ``training`` and
+    ``predictor`` may be supplied to reuse already computed runs (the tests
+    share them across fixtures); both are regenerated from the scenario when
+    omitted.  ``engine`` selects the single-server engine of the generated
+    training runs (the fleet itself always runs the event-driven
+    ``ClusterEngine``).
     """
     active = scenario if scenario is not None else ClusterScenario.paper_scale()
 
     if training is None:
-        training = generate_cluster_training_traces(active)
+        training = generate_cluster_training_traces(active, engine=engine)
     if predictor is None:
         predictor = train_cluster_predictor(active, training)
     interval = derive_time_based_interval(active, training)

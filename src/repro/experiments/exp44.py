@@ -73,26 +73,40 @@ class Experiment44Result:
         return bool(implicated & {"memory", "heap", "system"}) and "threads" in implicated
 
 
-def run_experiment_44(scenarios: ExperimentScenarios | None = None) -> Experiment44Result:
-    """Regenerate Experiment 4.4 / Figure 5 and the root-cause inspection."""
+def run_experiment_44(
+    scenarios: ExperimentScenarios | None = None,
+    engine: str = "event",
+) -> Experiment44Result:
+    """Regenerate Experiment 4.4 / Figure 5 and the root-cause inspection.
+
+    Prefer the unified entry point ``repro.api.run("exp44", ...)``; this
+    function remains as the underlying driver.  ``engine`` selects the
+    simulation engine of every generated trace.
+    """
     active = scenarios if scenarios is not None else ExperimentScenarios.paper_scale()
     workload = active.workload_42
 
     training: list[Trace] = []
     for index, rate in enumerate(active.memory_rates_44):
         training.append(
-            run_memory_leak_trace(active.config, workload, n=rate, seed=active.seed_for(400 + index))
+            run_memory_leak_trace(
+                active.config, workload, n=rate, seed=active.seed_for(400 + index), engine=engine
+            )
         )
     for index, (m, t) in enumerate(active.thread_rates_44):
         training.append(
-            run_thread_leak_trace(active.config, workload, m=m, t=t, seed=active.seed_for(410 + index))
+            run_thread_leak_trace(
+                active.config, workload, m=m, t=t, seed=active.seed_for(410 + index), engine=engine
+            )
         )
 
     phases = [
         (index * active.phase_seconds_44, n, m, t)
         for index, (n, m, t) in enumerate(active.test_phases_44)
     ]
-    test_trace = run_two_resource_trace(active.config, workload, phases=phases, seed=active.seed_for(450))
+    test_trace = run_two_resource_trace(
+        active.config, workload, phases=phases, seed=active.seed_for(450), engine=engine
+    )
     if not test_trace.crashed:
         raise RuntimeError("the two-resource run did not crash; increase the injection rates")
 

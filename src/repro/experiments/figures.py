@@ -82,8 +82,15 @@ class Figure2Series:
         return float(tail.max() - tail.min()) >= minimum_swing_mb
 
 
-def figure1_series(scenarios: ExperimentScenarios | None = None) -> Figure1Series:
-    """Run the Figure 1 experiment: constant workload, constant-rate leak."""
+def figure1_series(
+    scenarios: ExperimentScenarios | None = None,
+    engine: str = "event",
+) -> Figure1Series:
+    """Run the Figure 1 experiment: constant workload, constant-rate leak.
+
+    ``engine`` selects the simulation engine (``"event"``, the default, or
+    ``"per_second"``); both produce bit-for-bit identical seeded traces.
+    """
     active = scenarios if scenarios is not None else ExperimentScenarios.paper_scale()
     simulation = TestbedSimulation(
         config=active.config,
@@ -91,7 +98,7 @@ def figure1_series(scenarios: ExperimentScenarios | None = None) -> Figure1Serie
         injectors=[MemoryLeakInjector(n=active.memory_n_41, seed=active.seed_for(500))],
         seed=active.seed_for(500),
     )
-    trace = simulation.run(max_seconds=12 * 3600.0)
+    trace = simulation.run(max_seconds=12 * 3600.0, engine=engine)
     if not trace.crashed:
         raise RuntimeError("the Figure 1 run did not crash; increase the leak rate")
     return Figure1Series(
@@ -106,11 +113,13 @@ def figure1_series(scenarios: ExperimentScenarios | None = None) -> Figure1Serie
 def figure2_series(
     scenarios: ExperimentScenarios | None = None,
     num_cycles: int = 5,
+    engine: str = "event",
 ) -> Figure2Series:
     """Run the Figure 2 experiment: benign periodic acquire/release pattern.
 
     The paper repeats the hourly pattern for five hours; ``num_cycles``
     controls how many normal/acquire/release cycles are simulated.
+    ``engine`` selects the simulation engine as in :func:`figure1_series`.
     """
     if num_cycles < 1:
         raise ValueError("num_cycles must be at least 1")
@@ -129,7 +138,7 @@ def figure2_series(
         seed=active.seed_for(510),
     )
     duration = 3 * active.phase_seconds_43 * num_cycles
-    trace = simulation.run(max_seconds=duration)
+    trace = simulation.run(max_seconds=duration, engine=engine)
     return Figure2Series(
         time_seconds=trace.times(),
         os_memory_mb=trace.series("tomcat_memory_used_mb"),

@@ -1,0 +1,28 @@
+"""Shared fixtures for the unified-API tests.
+
+Running every registered experiment is the expensive part, so it happens
+once per session at the small scale and the results are shared by the
+round-trip, provenance and sanity tests.  The fixture deliberately goes
+through the CLI layer (``repro run <name> --scale small --seed 7 --out``)
+so the acceptance claim — the CLI works for every registered experiment at
+the small scale — is exercised end to end; the envelopes the tests see are
+the deserialized artifacts the CLI wrote.
+"""
+
+import pytest
+
+from repro import api
+from repro.api.cli import main as cli_main
+
+
+@pytest.fixture(scope="session")
+def small_results(tmp_path_factory) -> dict[str, api.RunResult]:
+    """One CLI-produced RunResult per registered experiment (small, seed 7)."""
+    out_dir = tmp_path_factory.mktemp("envelopes")
+    results: dict[str, api.RunResult] = {}
+    for name in api.list_experiments():
+        out_file = out_dir / f"{name}.json"
+        code = cli_main(["run", name, "--scale", "small", "--seed", "7", "--out", str(out_file)])
+        assert code == 0, f"repro run {name} failed"
+        results[name] = api.RunResult.from_json(out_file.read_text())
+    return results

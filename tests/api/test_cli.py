@@ -1,0 +1,122 @@
+"""The ``repro`` CLI: list/describe/run/batch, and the seeded smoke test.
+
+Most tests drive ``repro.api.cli.main`` in-process; the acceptance smoke
+test spawns two real ``python -m repro`` processes and asserts their JSON
+artifacts are byte-identical.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import api
+from repro.api.cli import main
+
+
+class TestListAndDescribe:
+    def test_list_names_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in api.list_experiments():
+            assert name in out
+
+    def test_describe_shows_parameters(self, capsys):
+        assert main(["describe", "cluster"]) == 0
+        out = capsys.readouterr().out
+        assert "--kind" in out and "--seed" in out and "--engine" in out
+
+    def test_describe_unknown_name_exits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["describe", "nope"])
+
+
+class TestRunCommand:
+    def test_run_writes_a_loadable_envelope(self, tmp_path, capsys):
+        out_file = tmp_path / "figure2.json"
+        code = main(
+            ["run", "figure2", "--scale", "small", "--seed", "5",
+             "-p", "num_cycles=2", "--out", str(out_file)]
+        )
+        assert code == 0
+        result = api.RunResult.from_json(out_file.read_text())
+        assert result.name == "figure2"
+        assert result.params["num_cycles"] == 2
+        assert result.seed == 5
+        assert "figure2" in capsys.readouterr().out
+
+    def test_run_stdout_output(self, capsys):
+        assert main(["run", "figure1", "--scale", "small", "--out", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["name"] == "figure1"
+
+    def test_timing_flag_embeds_wall_clock(self, tmp_path):
+        out_file = tmp_path / "timed.json"
+        main(["run", "figure1", "--scale", "small", "--out", str(out_file), "--timing"])
+        assert "wall_clock_seconds" in json.loads(out_file.read_text())
+
+    def test_bad_param_syntax_exits(self):
+        with pytest.raises(SystemExit, match="KEY=VALUE"):
+            main(["run", "figure1", "-p", "oops"])
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["run", "nope"])
+
+    def test_invalid_choice_exits(self):
+        with pytest.raises(SystemExit, match="must be one of"):
+            main(["run", "cluster", "-p", "kind=bogus"])
+
+
+class TestBatchCommand:
+    def test_batch_writes_one_artifact_per_match(self, tmp_path, capsys):
+        code = main(
+            ["batch", "figure*", "--scale", "small", "--seed", "5",
+             "--out-dir", str(tmp_path)]
+        )
+        assert code == 0
+        written = sorted(path.name for path in tmp_path.glob("*.json"))
+        assert written == ["figure1.json", "figure2.json"]
+        for path in tmp_path.glob("*.json"):
+            assert api.RunResult.from_json(path.read_text()).scale == "small"
+
+    def test_batch_without_match_exits(self):
+        with pytest.raises(SystemExit, match="no experiment matches"):
+            main(["batch", "zzz*"])
+
+
+def _repro_cli_env() -> dict[str, str]:
+    """Subprocess environment with the checkout's src/ on the path."""
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestSeededCliSmoke:
+    """Acceptance: two same-seed CLI runs emit byte-identical JSON."""
+
+    def test_exp41_small_is_byte_identical_across_invocations(self, tmp_path):
+        outputs = []
+        for index in range(2):
+            out_file = tmp_path / f"exp41-{index}.json"
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro", "run", "exp41",
+                 "--scale", "small", "--seed", "7", "--out", str(out_file)],
+                env=_repro_cli_env(),
+                capture_output=True,
+                text=True,
+                timeout=600,
+            )
+            assert completed.returncode == 0, completed.stderr
+            outputs.append(out_file.read_bytes())
+        assert outputs[0] == outputs[1]
+        result = api.RunResult.from_json(outputs[0].decode())
+        assert result.name == "exp41"
+        assert result.metrics["m5p_leaves"] >= 1
+        assert result.version == repro.__version__

@@ -1,0 +1,168 @@
+"""RunResult canonicalization, JSON round trips, and per-experiment equality."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+from repro.api.result import SCHEMA_VERSION, RunResult
+
+
+def _sample_result(wall_clock: float = 1.25) -> RunResult:
+    return RunResult.build(
+        name="sample",
+        description="synthetic envelope",
+        category="experiment",
+        params={"scale": "small", "seed": 3, "engine": "event"},
+        metrics={
+            "count": np.int64(7),
+            "value": np.float64(1.5),
+            "flag": True,
+            "label": "ok",
+            "missing": None,
+        },
+        series={"curve": np.arange(4, dtype=float), "steps": (1, 2, 3)},
+        version=repro.__version__,
+        wall_clock_seconds=wall_clock,
+    )
+
+
+class TestCanonicalization:
+    def test_numpy_payloads_become_plain_types(self):
+        result = _sample_result()
+        assert type(result.metrics["count"]) is int
+        assert type(result.metrics["value"]) is float
+        assert result.series["curve"] == [0.0, 1.0, 2.0, 3.0]
+        assert result.series["steps"] == [1.0, 2.0, 3.0]
+
+    def test_non_finite_values_rejected(self):
+        with pytest.raises(ValueError, match="not finite"):
+            RunResult.build(
+                name="x", description="d", category="figure",
+                params={}, metrics={"bad": float("nan")}, series={},
+                version="0",
+            )
+        with pytest.raises(ValueError, match="not finite"):
+            RunResult.build(
+                name="x", description="d", category="figure",
+                params={}, metrics={}, series={"bad": [float("inf")]},
+                version="0",
+            )
+
+    def test_unsupported_metric_type_rejected(self):
+        with pytest.raises(TypeError, match="unsupported type"):
+            RunResult.build(
+                name="x", description="d", category="figure",
+                params={}, metrics={"bad": object()}, series={},
+                version="0",
+            )
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_is_lossless(self):
+        result = _sample_result()
+        again = RunResult.from_json(result.to_json())
+        assert again == result
+        assert again.to_json() == result.to_json()
+
+    def test_wall_clock_excluded_from_equality_and_default_json(self):
+        fast = _sample_result(wall_clock=0.1)
+        slow = _sample_result(wall_clock=99.0)
+        assert fast == slow
+        assert fast.to_json() == slow.to_json()
+        assert "wall_clock_seconds" not in json.loads(fast.to_json())
+
+    def test_timing_embeds_and_restores_wall_clock(self):
+        result = _sample_result(wall_clock=2.5)
+        payload = json.loads(result.to_json(include_timing=True))
+        assert payload["wall_clock_seconds"] == 2.5
+        again = RunResult.from_json(result.to_json(include_timing=True))
+        assert again.wall_clock_seconds == 2.5
+
+    def test_json_keys_are_sorted(self):
+        payload = json.loads(_sample_result().to_json())
+        assert list(payload) == sorted(payload)
+
+    def test_unsupported_schema_version_rejected(self):
+        payload = _sample_result().to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            RunResult.from_dict(payload)
+
+    def test_non_scalar_metric_rejected_on_load(self):
+        payload = _sample_result().to_dict()
+        payload["metrics"]["bad"] = [1, 2]
+        with pytest.raises(ValueError, match="not a scalar"):
+            RunResult.from_dict(payload)
+
+    def test_non_finite_tokens_rejected_on_load(self):
+        """Hand-edited NaN/Infinity payloads fail at the boundary, not later."""
+        corrupted = _sample_result().to_json().replace("1.5", "NaN", 1)
+        with pytest.raises(ValueError, match="non-finite JSON token"):
+            RunResult.from_json(corrupted)
+        corrupted = _sample_result().to_json().replace("1.5", "Infinity", 1)
+        with pytest.raises(ValueError, match="non-finite JSON token"):
+            RunResult.from_json(corrupted)
+
+
+class TestEveryRegisteredExperiment:
+    """The acceptance criterion: lossless round trip for every registry entry."""
+
+    def test_covers_whole_registry(self, small_results):
+        assert set(small_results) == set(api.list_experiments())
+
+    def test_round_trip_equality_for_every_experiment(self, small_results):
+        for name, result in small_results.items():
+            text = result.to_json()
+            again = RunResult.from_json(text)
+            assert again == result, name
+            assert again.to_json() == text, name
+
+    def test_provenance_is_stamped(self, small_results):
+        for name, result in small_results.items():
+            assert result.version == repro.__version__, name
+            assert result.schema_version == SCHEMA_VERSION, name
+            assert result.seed == 7 and result.scale == "small", name
+            assert result.engine == "event", name
+            assert result.params["scale"] == "small", name
+            assert result.wall_clock_seconds >= 0.0, name
+
+    def test_payloads_are_canonical(self, small_results):
+        for name, result in small_results.items():
+            assert result.metrics, name
+            for key, value in result.metrics.items():
+                assert isinstance(value, (bool, int, float, str, type(None))), (name, key)
+            for key, values in result.series.items():
+                assert isinstance(values, list), (name, key)
+                assert all(type(v) is float for v in values), (name, key)
+
+    def test_headline_findings_survive_the_envelope(self, small_results):
+        assert small_results["cluster"].metrics["rolling_wins"] is True
+        assert small_results["exp41"].metrics["m5p_leaves"] >= 1
+        assert small_results["exp42"].metrics["adapts_to_injection_start"] is True
+        assert small_results["figure2"].metrics["jvm_view_oscillates"] is True
+        assert small_results["ablation_window"].metrics["num_points"] == 5
+
+
+class TestRunDeterminism:
+    def test_api_and_cli_produce_the_same_envelope(self, small_results):
+        """api.run and a CLI artifact with equal parameters compare equal."""
+        direct = api.run("figure2", scale="small", seed=7)
+        assert direct == small_results["figure2"]
+        assert direct.to_json() == small_results["figure2"].to_json()
+
+    def test_same_seed_runs_are_equal_and_byte_stable(self):
+        first = api.run("figure2", scale="small", seed=5, num_cycles=2)
+        second = api.run("figure2", scale="small", seed=5, num_cycles=2)
+        assert first == second
+        assert first.to_json() == second.to_json()
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="registered"):
+            api.run("not_an_experiment")
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            api.run("figure1", bogus=1)
