@@ -1,0 +1,101 @@
+"""Micro-benchmark of the aging-aware routing weight cache on a wide fleet.
+
+``AgingAwareRouting.route`` used to recompute every candidate's
+forecast-derived health weight on every request, even though a weight can
+only move at a monitoring mark, a crash or a restart.  The policy now
+memoizes the weight vector per (candidate list, forecast version counters)
+and rebuilds only on a state change — this benchmark drives a wide fleet
+through a realistic request/mark cadence and asserts the cached policy is
+measurably faster while producing the bit-for-bit identical decision
+stream.
+
+Methodology matches the engine benchmarks: interleaved uncached/cached
+pairs, best-of-three per side within a pair, median per-pair ratio — so
+machine noise hits both sides of a pair alike.
+"""
+
+import time
+
+from repro.cluster.routing import AgingAwareRouting
+
+from bench_util import print_comparison
+
+_NUM_NODES = 48
+_REQUESTS = 20_000
+_MARK_EVERY = 500  # one node's forecast moves every N requests (a mark cadence)
+_PAIRS = 5
+_RUNS_PER_SIDE = 3
+_MIN_SPEEDUP = 1.5
+
+
+class _Node:
+    """The attributes the routing layer reads, plus the version counter."""
+
+    __slots__ = ("node_id", "predicted_ttf_seconds", "forecast_version")
+
+    def __init__(self, node_id: int, predicted_ttf_seconds: float) -> None:
+        self.node_id = node_id
+        self.predicted_ttf_seconds = predicted_ttf_seconds
+        self.forecast_version = 0
+
+
+def _drive(cache_weights: bool) -> tuple[float, list[int]]:
+    """Route the full request stream once; return (seconds, decisions)."""
+    policy = AgingAwareRouting(ttf_comfort_seconds=900.0, shed_floor=0.1, cache_weights=cache_weights)
+    nodes = [_Node(i, 900.0 if i % 3 else 450.0) for i in range(_NUM_NODES)]
+    decisions = []
+    append = decisions.append
+    route = policy.route
+    started = time.perf_counter()
+    for request in range(_REQUESTS):
+        if request % _MARK_EVERY == 0:
+            node = nodes[(request // _MARK_EVERY) % _NUM_NODES]
+            node.predicted_ttf_seconds = 300.0 + (request % 700)
+            node.forecast_version += 1
+        append(route(nodes).node_id)
+    return time.perf_counter() - started, decisions
+
+
+def _best_of(cache_weights: bool) -> tuple[float, list[int]]:
+    best_seconds, decisions = None, None
+    for _ in range(_RUNS_PER_SIDE):
+        elapsed, decisions = _drive(cache_weights)
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return best_seconds, decisions
+
+
+def test_routing_weight_cache_speedup(benchmark):
+    """Wide-fleet routing: cached weights >=1.5x, identical decisions."""
+    ratios = []
+    uncached_times = []
+    cached_times = []
+    for _ in range(_PAIRS):
+        uncached_seconds, uncached_decisions = _best_of(cache_weights=False)
+        cached_seconds, cached_decisions = _best_of(cache_weights=True)
+        assert cached_decisions == uncached_decisions
+        uncached_times.append(uncached_seconds)
+        cached_times.append(cached_seconds)
+        ratios.append(uncached_seconds / cached_seconds)
+
+    # One extra cached round through the benchmark fixture so the BENCH
+    # json records the hot path's own timing distribution.
+    benchmark.pedantic(lambda: _drive(cache_weights=True), iterations=1, rounds=1)
+
+    speedup = sorted(ratios)[len(ratios) // 2]
+    benchmark.extra_info["num_nodes"] = _NUM_NODES
+    benchmark.extra_info["requests"] = _REQUESTS
+    benchmark.extra_info["uncached_s"] = round(min(uncached_times), 3)
+    benchmark.extra_info["cached_s"] = round(min(cached_times), 3)
+    benchmark.extra_info["speedup_x"] = round(speedup, 2)
+    print_comparison(
+        f"Routing: weight cache on a {_NUM_NODES}-node fleet, {_REQUESTS} requests",
+        [
+            ("uncached route (best pair)", "-", f"{min(uncached_times):.3f} s"),
+            ("cached route (best pair)", "-", f"{min(cached_times):.3f} s"),
+            ("speedup (median of pairs)", f">= {_MIN_SPEEDUP:.1f}x", f"{speedup:.2f}x"),
+            ("per-pair ratios", "-", ", ".join(f"{r:.2f}x" for r in ratios)),
+            ("decision streams identical", "expected", "True"),
+        ],
+    )
+    assert speedup >= _MIN_SPEEDUP

@@ -1,4 +1,10 @@
-"""``python -m repro`` — the unified experiment CLI (same as ``repro``)."""
+"""``python -m repro`` — the unified experiment CLI (same as ``repro``).
+
+``list`` / ``describe`` / ``run`` / ``batch`` / ``sweep`` / ``collect``;
+see :mod:`repro.api.cli` for the full surface, including the parallel
+``--workers`` orchestration and the content-addressed result cache behind
+``batch`` and ``sweep``.
+"""
 
 import sys
 

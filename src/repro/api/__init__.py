@@ -11,9 +11,24 @@ declaratively specified entry in a registry and runs through one call::
     again = api.RunResult.from_json(text)    # again == result
 
 The same registry powers the ``repro`` command-line interface
-(``repro list`` / ``repro describe`` / ``repro run`` / ``repro batch``, also
-reachable as ``python -m repro``), which writes the serialized envelope to
-disk so scenario sweeps become a data problem instead of a code problem.
+(``repro list`` / ``repro describe`` / ``repro run`` / ``repro batch`` /
+``repro sweep`` / ``repro collect``, also reachable as ``python -m repro``),
+which writes the serialized envelope to disk so scenario sweeps become a
+data problem instead of a code problem.
+
+Because every run is a pure seeded function of its resolved parameters,
+grids of runs parallelize and cache for free: :func:`expand_sweep` turns
+range/list expressions (``seed="1..20"``, ``scale="small,paper"``) into a
+deterministic list of :class:`RunPoint`\\ s, :func:`run_points` dispatches
+them over a process pool (``workers=1`` for the sequential path —
+byte-identical artifacts either way), and :class:`ResultStore` serves
+already-computed points straight from their content-addressed envelopes::
+
+    from repro import api
+
+    points = api.expand_sweep("exp41", {"seed": "1..20", "scale": "small"})
+    outcomes = api.run_points(points, api.ResultStore("results/exp41"), workers=4)
+    summary = api.collect_results("results/exp41")
 
 Registered experiments
 ----------------------
@@ -46,20 +61,41 @@ Every spec shares the common parameters ``scale`` (``"small"`` /
 full parameter schema of any entry.
 """
 
-from repro.api.registry import REGISTRY, get_spec, list_experiments, register, run
-from repro.api.result import SCHEMA_VERSION, RunResult
+from repro.api.executor import PointOutcome, run_points
+from repro.api.registry import (
+    REGISTRY,
+    get_spec,
+    list_experiments,
+    match_experiments,
+    register,
+    run,
+)
+from repro.api.result import SCHEMA_VERSION, RunResult, content_key
 from repro.api.spec import ENGINES, SCALES, ExperimentSpec, ParamSpec
+from repro.api.store import ResultStore, collect_results, summary_json
+from repro.api.sweep import RunPoint, batch_points, expand_sweep, parse_values
 
 __all__ = [
     "ENGINES",
     "REGISTRY",
+    "PointOutcome",
+    "ResultStore",
+    "RunPoint",
     "RunResult",
     "SCALES",
     "SCHEMA_VERSION",
     "ExperimentSpec",
     "ParamSpec",
+    "batch_points",
+    "collect_results",
+    "content_key",
+    "expand_sweep",
     "get_spec",
     "list_experiments",
+    "match_experiments",
+    "parse_values",
     "register",
     "run",
+    "run_points",
+    "summary_json",
 ]

@@ -1,6 +1,6 @@
 """The ``repro`` command-line interface over the experiment registry.
 
-Four subcommands, all driven by the declarative specs of
+Six subcommands, all driven by the declarative specs of
 :mod:`repro.api.registry`:
 
 ``repro list``
@@ -13,9 +13,27 @@ Four subcommands, all driven by the declarative specs of
     the canonical JSON envelope (``-`` for stdout).  Two invocations with
     the same parameters write byte-identical JSON unless ``--timing`` embeds
     the wall clock.
-``repro batch <glob> --out-dir DIR [common flags]``
+``repro batch <glob> --out-dir DIR [common flags] [--workers N]``
     Run every experiment whose name matches the shell-style pattern and
     write one ``<out-dir>/<name>.json`` artifact per run.
+``repro sweep <glob> [--seed 1..20] [--scale small,paper] [-p k=v1,v2 ...]
+--out-dir DIR [--workers N]``
+    Expand range/list parameter expressions into a deterministic grid of
+    run points (see :mod:`repro.api.sweep`) and write one content-addressed
+    ``<name>-<key>.json`` artifact per point.
+``repro collect DIR [--out PATH]``
+    Fold a directory of envelopes into one summary table / canonical JSON.
+
+``batch`` and ``sweep`` share the process-pool orchestrator of
+:mod:`repro.api.executor` (``--workers`` defaults to the machine's cores;
+``--workers 1`` is the sequential in-process path and writes byte-identical
+artifacts) and the content-addressed cache of :mod:`repro.api.store`: a
+point whose envelope already exists in ``--out-dir`` under the same
+``(name, params, version)`` key is skipped outright.  ``--force``
+recomputes and overwrites hits; ``--no-cache`` skips reading the store
+altogether.  Reports, summaries and exit codes are emitted in point order
+— never completion order — and a failing point never aborts the grid: all
+failures are listed together and the exit code is non-zero.
 
 Installed as the ``repro`` console script and reachable as
 ``python -m repro``.
@@ -24,13 +42,15 @@ Installed as the ``repro`` console script and reachable as
 from __future__ import annotations
 
 import argparse
-import fnmatch
 import sys
 from pathlib import Path
 from typing import Any, Sequence
 
-from repro.api.registry import get_spec, list_experiments, run
+from repro.api.executor import PointOutcome, run_points
+from repro.api.registry import get_spec, list_experiments, match_experiments, run
 from repro.api.spec import ENGINES, SCALES
+from repro.api.store import ResultStore, collect_results, summary_json
+from repro.api.sweep import batch_points, expand_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -58,12 +78,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     batch = subparsers.add_parser("batch", help="run every experiment matching a pattern")
     _add_run_arguments(batch)
+    _add_grid_arguments(batch)
     batch.add_argument("pattern", help="shell-style pattern over experiment names, e.g. 'exp4*'")
-    batch.add_argument(
-        "--out-dir",
-        metavar="DIR",
-        default="results",
-        help="directory receiving one <name>.json per run (default: results/)",
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a parameter grid (ranges/lists) over matching experiments"
+    )
+    sweep.add_argument("pattern", help="shell-style pattern over experiment names, e.g. 'exp41'")
+    sweep.add_argument(
+        "--scale",
+        metavar="EXPR",
+        help=f"scale values, e.g. 'small' or 'small,paper' (choices: {', '.join(SCALES)})",
+    )
+    sweep.add_argument(
+        "--seed",
+        metavar="EXPR",
+        help="seed values: 'N', 'N1,N2,...' or an inclusive range 'A..B' / 'A..B..STEP'",
+    )
+    sweep.add_argument(
+        "--engine",
+        metavar="EXPR",
+        help=f"engine values, e.g. 'event' (choices: {', '.join(ENGINES)})",
+    )
+    sweep.add_argument(
+        "-p",
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=EXPR",
+        help="experiment-specific sweep expression (repeatable), e.g. -p kind=memory,threads",
+    )
+    sweep.add_argument("--timing", action="store_true", help="embed wall clocks in the JSON")
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded run points without executing anything",
+    )
+    _add_grid_arguments(sweep)
+
+    collect = subparsers.add_parser(
+        "collect", help="fold a directory of result envelopes into one summary"
+    )
+    collect.add_argument("directory", help="directory holding *.json run envelopes")
+    collect.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the summary as canonical JSON ('-' for stdout)",
     )
     return parser
 
@@ -88,18 +148,51 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Orchestration flags shared by the grid commands (batch and sweep)."""
+    parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        default="results",
+        help="result store directory receiving one envelope per run (default: results/)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="worker processes (default: all cores; 1 = sequential in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not serve finished points from the result store (still writes results)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute and overwrite points even when the store already has them",
+    )
+
+
 def _collect_overrides(args: argparse.Namespace) -> dict[str, Any]:
     overrides: dict[str, Any] = {}
     for flag in ("scale", "seed", "engine"):
         value = getattr(args, flag)
         if value is not None:
             overrides[flag] = value
-    for raw in args.param:
+    for key, value in _split_params(args.param):
+        overrides[key] = value
+    return overrides
+
+
+def _split_params(raw_params: Sequence[str]) -> list[tuple[str, str]]:
+    pairs = []
+    for raw in raw_params:
         key, separator, value = raw.partition("=")
         if not separator or not key:
             raise SystemExit(f"repro: -p expects KEY=VALUE, got {raw!r}")
-        overrides[key] = value
-    return overrides
+        pairs.append((key, value))
+    return pairs
 
 
 def _execute(name: str, overrides: dict[str, Any]):
@@ -146,23 +239,108 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_grid(kind: str, pattern: str, outcomes: list[PointOutcome], out_dir: str) -> int:
+    """Print the point-ordered grid report; non-zero when any point failed.
+
+    Every failed point is listed (the grid never stops at the first
+    failure), and the summary counts are a function of the command line
+    alone — workers and completion order cannot reorder a byte of it.
+    """
+    for outcome in outcomes:
+        if outcome.status == "failed":
+            print(f"  failed  {outcome.point.label}: {outcome.error}")
+        else:
+            note = f" ({outcome.wall_clock_seconds:.2f}s)" if outcome.status == "ran" else ""
+            print(f"  {outcome.status:<6s}  {outcome.point.label} -> {outcome.point.filename}{note}")
+    ran = sum(1 for outcome in outcomes if outcome.status == "ran")
+    cached = sum(1 for outcome in outcomes if outcome.status == "cached")
+    failed = [outcome for outcome in outcomes if outcome.status == "failed"]
+    print(
+        f"{kind} {pattern!r}: {len(outcomes)} point(s): "
+        f"{ran} ran, {cached} cached, {len(failed)} failed -> {out_dir}"
+    )
+    if failed:
+        print(
+            f"repro: {len(failed)} point(s) failed: "
+            + ", ".join(outcome.point.label for outcome in failed),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_grid(kind: str, pattern: str, points, args: argparse.Namespace) -> int:
+    if not points:
+        raise SystemExit(f"repro: the {kind} expanded to no run points")
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("repro: --workers must be at least 1")
+    store = ResultStore(args.out_dir)
+    outcomes = run_points(
+        points,
+        store,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        force=args.force,
+        timing=args.timing,
+    )
+    return _report_grid(kind, pattern, outcomes, args.out_dir)
+
+
 def _command_batch(args: argparse.Namespace) -> int:
-    matches = [name for name in list_experiments() if fnmatch.fnmatch(name, args.pattern)]
-    if not matches:
-        raise SystemExit(
-            f"repro: no experiment matches {args.pattern!r}; registered: "
-            + ", ".join(list_experiments())
-        )
-    overrides = _collect_overrides(args)
+    try:
+        matches = match_experiments(args.pattern)
+        points = batch_points(matches, _collect_overrides(args))
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"repro: {error}") from error
     print(f"running {len(matches)} experiment(s): {', '.join(matches)}")
-    for name in matches:
-        result = _execute(name, overrides)
-        _write_result(result, str(Path(args.out_dir) / f"{name}.json"), args.timing)
-        headline = (
-            f"  {name}: {len(result.metrics)} metrics, {len(result.series)} series, "
-            f"{result.wall_clock_seconds:.2f}s"
+    return _run_grid("batch", args.pattern, points, args)
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    # The sweep parser declares scale/seed/engine as plain strings, so the
+    # shared collector yields exactly the expression map expand_sweep wants.
+    axes = _collect_overrides(args)
+    try:
+        points = expand_sweep(args.pattern, axes)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"repro: {error}") from error
+    if args.dry_run:
+        for point in points:
+            print(f"  {point.label} -> {point.filename}")
+        print(f"sweep {args.pattern!r}: {len(points)} point(s) (dry run)")
+        return 0
+    return _run_grid("sweep", args.pattern, points, args)
+
+
+def _command_collect(args: argparse.Namespace) -> int:
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        raise SystemExit(f"repro: {directory} is not a directory")
+    summary = collect_results(directory)
+    width = max((len(row["name"]) for row in summary["runs"]), default=4)
+    print(f"{'name':<{width}}  {'seed':>6s}  {'scale':<6s}  {'engine':<10s}  metrics  series")
+    for row in summary["runs"]:
+        print(
+            f"{row['name']:<{width}}  {row['seed']:>6d}  {row['scale']:<6s}  "
+            f"{row['engine']:<10s}  {len(row['metrics']):>7d}  {len(row['series_lengths']):>6d}"
         )
-        print(headline)
+    for name, bucket in sorted(summary["by_name"].items()):
+        print(f"{name}: {bucket['runs']} run(s)")
+    if summary["skipped_files"]:
+        print(
+            "skipped unreadable file(s): " + ", ".join(summary["skipped_files"]),
+            file=sys.stderr,
+        )
+    print(f"collected {summary['num_runs']} run(s) from {directory}")
+    if args.out:
+        text = summary_json(summary) + "\n"
+        if args.out == "-":
+            sys.stdout.write(text)
+        else:
+            out_path = Path(args.out)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(text)
+            print(f"wrote {out_path}")
     return 0
 
 
@@ -176,6 +354,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "batch":
         return _command_batch(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "collect":
+        return _command_collect(args)
     raise SystemExit(f"repro: unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,188 @@
+"""The parallel run orchestrator shared by ``repro sweep`` and ``repro batch``.
+
+Registered runs are pure seeded functions, so a grid of them is
+embarrassingly parallel: :func:`run_points` dispatches every cache-missing
+:class:`~repro.api.sweep.RunPoint` to a ``ProcessPoolExecutor`` worker
+(``workers`` defaults to ``os.cpu_count()``; ``workers=1`` keeps today's
+in-process sequential path bit for bit), writes each envelope through the
+:class:`~repro.api.store.ResultStore` **as it completes**, and returns one
+:class:`PointOutcome` per point **in point order** — so reports, summaries
+and exit codes are a pure function of the command line, independent of
+which worker finished first.
+
+Determinism contract, extending the engine layer's bit-for-bit discipline
+up through orchestration:
+
+* the envelope bytes are produced inside the worker by the same
+  ``RunResult.to_json`` canonical serializer the sequential path uses, so
+  ``--workers 1`` and ``--workers N`` write byte-identical artifact sets;
+* a worker returns its envelope's content key alongside the text and the
+  parent cross-checks it against the point's key, catching a worker that
+  resolved a different package version;
+* failures never abort the grid: every failing point is captured with its
+  exception and reported together, in point order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.api.registry import run
+from repro.api.result import RunResult
+from repro.api.store import ResultStore
+from repro.api.sweep import RunPoint
+
+__all__ = ["PointOutcome", "execute_point", "run_points"]
+
+#: Outcome statuses, in report vocabulary.
+_RAN, _CACHED, _FAILED = "ran", "cached", "failed"
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one run point of a sweep or batch."""
+
+    point: RunPoint
+    status: str  # "ran" | "cached" | "failed"
+    path: Path | None = None
+    error: str | None = None
+    wall_clock_seconds: float = 0.0
+    result: RunResult | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status != _FAILED
+
+
+def execute_point(name: str, params: Mapping[str, Any], timing: bool = False) -> tuple[str, str, float, int]:
+    """Run one point and return ``(envelope text, content key, wall clock, pid)``.
+
+    Module-level so worker processes can unpickle it; the text is the final
+    canonical JSON (newline-terminated) ready to be written verbatim, which
+    is what keeps parallel and sequential artifact bytes identical.
+    """
+    result = run(name, **dict(params))
+    return (
+        result.to_json(include_timing=timing) + "\n",
+        result.content_key(),
+        result.wall_clock_seconds,
+        os.getpid(),
+    )
+
+
+def _settle(
+    outcome_slot: list[PointOutcome | None],
+    index: int,
+    point: RunPoint,
+    store: ResultStore,
+    payload: tuple[str, str, float, int] | None,
+    error: BaseException | None,
+) -> None:
+    """Record one completed point: write its artifact or capture its failure."""
+    if error is not None:
+        outcome_slot[index] = PointOutcome(
+            point=point, status=_FAILED, error=f"{type(error).__name__}: {error}"
+        )
+        return
+    assert payload is not None
+    text, key, wall_clock, pid = payload
+    if key != point.key:
+        outcome_slot[index] = PointOutcome(
+            point=point,
+            status=_FAILED,
+            error=f"content key mismatch: worker produced {key[:12]}, expected {point.key[:12]} "
+            "(worker resolved a different package version?)",
+        )
+        return
+    try:
+        path = store.put_text(point, text)
+    except OSError as write_error:  # disk full / permissions: fail the point, not the grid
+        outcome_slot[index] = PointOutcome(
+            point=point,
+            status=_FAILED,
+            error=f"could not write artifact: {type(write_error).__name__}: {write_error}",
+        )
+        return
+    result = RunResult.from_json(text)  # uniform: 'ran' carries the result like 'cached'
+    result.wall_clock_seconds = wall_clock
+    result.worker_pid = pid
+    outcome_slot[index] = PointOutcome(
+        point=point, status=_RAN, path=path, wall_clock_seconds=wall_clock, result=result
+    )
+
+
+def run_points(
+    points: Sequence[RunPoint],
+    store: ResultStore,
+    workers: int | None = None,
+    use_cache: bool = True,
+    force: bool = False,
+    timing: bool = False,
+) -> list[PointOutcome]:
+    """Execute a grid of run points against a result store.
+
+    ``use_cache=False`` skips reading the store (but still writes results);
+    ``force=True`` recomputes and overwrites even on a hit.  The returned
+    list is ordered like ``points`` regardless of completion order; every
+    non-failed outcome carries its :class:`RunResult`.
+
+    With ``workers > 1`` each worker process re-imports the registry, so
+    points must reference experiments registered at import time (the
+    built-in registry qualifies).  Specs added dynamically via
+    ``api.register`` are only visible to forked workers — under a spawn or
+    forkserver start method they fail with "unknown experiment"; run such
+    points with ``workers=1``.
+    """
+    workers = (os.cpu_count() or 1) if workers is None else workers
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+
+    outcomes: list[PointOutcome | None] = [None] * len(points)
+    pending: list[int] = []
+    for index, point in enumerate(points):
+        if use_cache and not force:
+            hit = store.get(point)
+            if hit is not None:
+                outcomes[index] = PointOutcome(
+                    point=point,
+                    status=_CACHED,
+                    path=store.path_for(point),
+                    wall_clock_seconds=hit.wall_clock_seconds,
+                    result=hit,
+                )
+                continue
+        pending.append(index)
+
+    if workers == 1 or len(pending) <= 1:
+        for index in pending:
+            point = points[index]
+            try:
+                payload = execute_point(point.name, point.params, timing)
+            except Exception as error:
+                _settle(outcomes, index, point, store, None, error)
+            else:
+                _settle(outcomes, index, point, store, payload, None)
+    elif pending:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures: dict[Future[Any], int] = {
+                pool.submit(execute_point, points[index].name, points[index].params, timing): index
+                for index in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:  # write each envelope as soon as it lands
+                    index = futures[future]
+                    point = points[index]
+                    error = future.exception()
+                    if error is not None:
+                        _settle(outcomes, index, point, store, None, error)
+                    else:
+                        _settle(outcomes, index, point, store, future.result(), None)
+
+    assert all(outcome is not None for outcome in outcomes)
+    return [outcome for outcome in outcomes if outcome is not None]

@@ -12,10 +12,19 @@ scaled-down scenario configurations the tests use, ``scale="paper"`` to the
 paper-scale ones, and ``seed`` feeds the scenario's master seed — so two
 ``run()`` calls with equal parameters produce equal (and equal-serializing)
 results.
+
+That purity is load-bearing beyond reproducibility: the sweep orchestrator
+(:mod:`repro.api.executor`) dispatches ``run()`` calls to worker processes
+and the result store (:mod:`repro.api.store`) substitutes an on-disk
+envelope for a run outright, both on the strength of ``(name, resolved
+params, version)`` fully determining the result.  Adapters must therefore
+never read ambient state (wall clock, environment, global RNGs) that is not
+derived from their resolved parameters.
 """
 
 from __future__ import annotations
 
+import fnmatch
 import time
 from dataclasses import replace
 from typing import Any, Callable
@@ -38,7 +47,7 @@ from repro.experiments.exp44 import run_experiment_44
 from repro.experiments.figures import figure1_series, figure2_series
 from repro.experiments.scenarios import CLUSTER_SCENARIO_KINDS, ClusterScenario, ExperimentScenarios
 
-__all__ = ["REGISTRY", "register", "get_spec", "list_experiments", "run"]
+__all__ = ["REGISTRY", "register", "get_spec", "list_experiments", "match_experiments", "run"]
 
 #: Name -> spec; insertion order is the presentation order of ``repro list``.
 REGISTRY: dict[str, ExperimentSpec] = {}
@@ -64,6 +73,16 @@ def get_spec(name: str) -> ExperimentSpec:
 def list_experiments() -> tuple[str, ...]:
     """Every registered experiment name, in presentation order."""
     return tuple(REGISTRY)
+
+
+def match_experiments(pattern: str) -> list[str]:
+    """Registered names matching a shell-style pattern, in registry order."""
+    matches = [name for name in REGISTRY if fnmatch.fnmatch(name, pattern)]
+    if not matches:
+        raise ValueError(
+            f"no experiment matches {pattern!r}; registered: " + ", ".join(REGISTRY)
+        )
+    return matches
 
 
 def run(name: str, **params: Any) -> RunResult:

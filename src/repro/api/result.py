@@ -31,18 +31,37 @@ so equal results serialize to equal bytes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-__all__ = ["RunResult", "SCHEMA_VERSION"]
+__all__ = ["RunResult", "SCHEMA_VERSION", "content_key"]
 
 #: Revision of the serialized envelope layout.
 SCHEMA_VERSION = 1
 
 #: Scalar types a metric may hold (bool before int: bool is an int subclass).
 _SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def content_key(name: str, params: Mapping[str, Any], version: str) -> str:
+    """Content address of a run: ``(name, resolved params, version)`` hashed.
+
+    The identity is serialized with the same canonical JSON discipline the
+    envelope itself uses (sorted keys, tight separators, no NaN/Inf), so two
+    runs that would emit byte-identical envelopes share one key — and any
+    change to a parameter or to the package version yields a fresh key,
+    which is exactly the invalidation rule the result store needs.
+    """
+    identity = json.dumps(
+        {"name": name, "params": dict(params), "version": version},
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()
 
 
 def _canon_scalar(key: str, value: Any) -> Any:
@@ -97,6 +116,13 @@ class RunResult:
     version: str
     schema_version: int = SCHEMA_VERSION
     wall_clock_seconds: float = field(default=0.0, compare=False)
+    #: Execution provenance, annotated in memory by the sweep orchestrator
+    #: and the result store.  Like the wall clock these never enter the
+    #: serialized envelope and are excluded from equality: *how* a result
+    #: was obtained (fresh run in worker 12345 versus a cache hit) must not
+    #: distinguish two otherwise identical results.
+    cache_hit: bool = field(default=False, compare=False)
+    worker_pid: int | None = field(default=None, compare=False)
 
     @classmethod
     def build(
@@ -167,6 +193,10 @@ class RunResult:
             indent=indent,
             allow_nan=False,
         )
+
+    def content_key(self) -> str:
+        """The run's content address (see the module-level :func:`content_key`)."""
+        return content_key(self.name, self.params, self.version)
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":

@@ -1,0 +1,167 @@
+"""Content-addressed store of run envelopes: never recompute a seeded run.
+
+Every run of the unified API is a pure function ``(name, resolved params,
+version) -> byte-stable RunResult JSON`` (PR 4's guarantee), so an envelope
+on disk **is** the run.  :class:`ResultStore` exploits that: it keys each
+artifact by the content hash of that identity triple
+(:func:`repro.api.result.content_key`) and serves cache hits by validating
+the stored envelope's own recomputed key against the requested one.  The
+consequences fall out for free:
+
+* a parameter or package-version change yields a new key, so stale
+  artifacts can never be mistaken for the requested run;
+* a corrupted or truncated envelope fails validation, is quarantined to
+  ``<file>.corrupt`` and reported as a miss — the next run heals the store;
+* two stores never disagree about a run: the key is derived from the same
+  canonical JSON bytes the envelope serializes with.
+
+Writes go through a temp file and an atomic rename, so an interrupted sweep
+leaves either the complete artifact or none.  The store also hosts the
+``repro collect`` aggregator: :func:`collect_results` folds a result
+directory into one deterministic summary (per-run rows plus per-experiment
+metric statistics) suitable for a table or canonical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.api.result import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.sweep import RunPoint
+
+__all__ = ["ResultStore", "collect_results", "summary_json"]
+
+
+class ResultStore:
+    """Directory of run envelopes addressed by content key."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, point: "RunPoint") -> Path:
+        return self.root / point.filename
+
+    def get(self, point: "RunPoint") -> RunResult | None:
+        """The stored result of ``point``, or ``None`` on any kind of miss.
+
+        A hit requires the artifact to parse as a valid envelope *and* to
+        recompute to the requested content key; the returned result is
+        annotated with ``cache_hit=True`` (excluded from equality).  An
+        unreadable or corrupt artifact is quarantined so the caller can
+        transparently recompute over it.
+        """
+        path = self.path_for(point)
+        try:
+            text = path.read_text()
+        except UnicodeDecodeError:  # binary garbage, e.g. a torn write
+            self._quarantine(path)
+            return None
+        except OSError:  # absent, unreadable, or not a file at all
+            return None
+        try:
+            result = RunResult.from_json(text)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            return None
+        if result.content_key() != point.key:
+            return None  # same filename, different run (params or version moved)
+        result.cache_hit = True
+        return result
+
+    def put_text(self, point: "RunPoint", text: str) -> Path:
+        """Atomically write one envelope's canonical JSON text.
+
+        The scratch name carries the writer's pid so concurrent sweeps
+        sharing one result directory never interleave inside one scratch
+        file — last rename wins with a complete artifact either way.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(point)
+        scratch = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        scratch.write_text(text)
+        scratch.replace(path)
+        return path
+
+    def put(self, point: "RunPoint", result: RunResult, timing: bool = False) -> Path:
+        return self.put_text(point, result.to_json(include_timing=timing) + "\n")
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - racing filesystem; miss either way
+            pass
+
+
+def collect_results(root: str | Path) -> dict[str, Any]:
+    """Fold a result directory into one deterministic summary mapping.
+
+    The summary carries one row per loadable envelope (sorted by name, then
+    seed, scale, engine and content key — never by directory order), plus
+    per-experiment aggregates: run count and min/mean/max over every numeric
+    metric.  Unreadable files are counted, not fatal: a sweep interrupted
+    mid-write must still collect.  The mapping serializes to canonical JSON
+    (sorted keys, finite floats), so equal directories collect to equal
+    bytes.
+    """
+    root = Path(root)
+    runs: list[dict[str, Any]] = []
+    skipped: list[str] = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            result = RunResult.from_json(path.read_text())
+        except (ValueError, KeyError, TypeError):
+            skipped.append(path.name)
+            continue
+        runs.append(
+            {
+                "file": path.name,
+                "name": result.name,
+                "seed": result.seed,
+                "scale": result.scale,
+                "engine": result.engine,
+                "params": dict(result.params),
+                "key": result.content_key(),
+                "version": result.version,
+                "metrics": dict(result.metrics),
+                "series_lengths": {key: len(values) for key, values in result.series.items()},
+            }
+        )
+    runs.sort(key=lambda row: (row["name"], row["seed"], row["scale"], row["engine"], row["key"]))
+
+    by_name: dict[str, dict[str, Any]] = {}
+    for row in runs:
+        bucket = by_name.setdefault(row["name"], {"runs": 0, "metrics": {}})
+        bucket["runs"] += 1
+        for metric, value in row["metrics"].items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            stats = bucket["metrics"].setdefault(
+                metric, {"min": value, "max": value, "sum": 0.0, "count": 0}
+            )
+            stats["min"] = min(stats["min"], value)
+            stats["max"] = max(stats["max"], value)
+            stats["sum"] += float(value)
+            stats["count"] += 1
+    for bucket in by_name.values():
+        for metric, stats in bucket["metrics"].items():
+            total, count = stats.pop("sum"), stats.pop("count")
+            stats["mean"] = total / count
+            stats["runs_with_metric"] = count
+
+    return {
+        "directory": root.name,
+        "num_runs": len(runs),
+        "skipped_files": sorted(skipped),
+        "runs": runs,
+        "by_name": by_name,
+    }
+
+
+def summary_json(summary: dict[str, Any]) -> str:
+    """Canonical JSON text of a :func:`collect_results` summary."""
+    return json.dumps(summary, sort_keys=True, indent=2, allow_nan=False)

@@ -1,0 +1,160 @@
+"""Sweep syntax: expand range/list parameter expressions into run points.
+
+A *sweep* turns one command line into a deterministic grid of seeded runs::
+
+    repro sweep exp41 --seed 1..20 --scale small,paper
+
+Each swept flag accepts an **expression** over the experiment's declared
+parameter (see :class:`~repro.api.spec.ParamSpec`):
+
+``A..B`` / ``A..B..S``
+    Inclusive integer range with optional positive step (int parameters
+    only): ``1..4`` is 1, 2, 3, 4; ``1..9..3`` is 1, 4, 7.
+``v1,v2,...``
+    Explicit value list, validated element by element against the
+    parameter's type and choices.
+``v``
+    A single value, exactly like ``repro run``.
+
+Expansion is the Cartesian product over the experiment's parameters **in
+spec order** with each axis's values in the order written, so the resulting
+:class:`RunPoint` list — and therefore output files, report order and exit
+codes — is a pure function of the command line, never of scheduling.  Each
+point carries the content key of :func:`repro.api.result.content_key`,
+which is what the result store and the executor address it by.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Mapping, Sequence
+
+import repro
+from repro.api.registry import get_spec, match_experiments
+from repro.api.result import content_key
+from repro.api.spec import ParamSpec
+
+__all__ = ["RunPoint", "parse_values", "expand_sweep", "batch_points"]
+
+_RANGE = re.compile(r"^(-?\d+)\.\.(-?\d+)(?:\.\.(\d+))?$")
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One fully resolved run of a sweep or batch: its identity and address.
+
+    ``params`` is the complete resolved parameter mapping (defaults merged
+    with the swept values), ``key`` the content address over
+    ``(name, params, version)`` and ``filename`` the artifact name the
+    result store uses inside its directory.
+    """
+
+    name: str
+    params: Mapping[str, Any] = field(hash=False)
+    key: str
+    filename: str
+
+    @property
+    def label(self) -> str:
+        """Human-readable point identity for reports and error listings."""
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.name}[{rendered}]"
+
+
+def parse_values(param: ParamSpec, expression: str) -> list[Any]:
+    """Expand one sweep expression into the parameter's validated values."""
+    match = _RANGE.match(expression.strip())
+    if match is not None:
+        if param.type != "int":
+            raise ValueError(
+                f"parameter {param.name!r} is {param.type}, ranges apply to int parameters only"
+            )
+        start, stop = int(match.group(1)), int(match.group(2))
+        step = int(match.group(3)) if match.group(3) else 1
+        if step < 1:
+            raise ValueError(f"parameter {param.name!r}: range step must be >= 1")
+        if stop < start:
+            raise ValueError(
+                f"parameter {param.name!r}: range {expression!r} is descending (use A..B with A <= B)"
+            )
+        return [param.validate(value) for value in range(start, stop + 1, step)]
+    raw_values = [piece.strip() for piece in expression.split(",")]
+    if any(not piece for piece in raw_values):
+        raise ValueError(f"parameter {param.name!r}: empty value in list {expression!r}")
+    return [param.validate(piece) for piece in raw_values]
+
+
+def expand_sweep(
+    pattern: str,
+    axes: Mapping[str, str],
+    version: str | None = None,
+) -> list[RunPoint]:
+    """Expand a name pattern plus sweep expressions into ordered run points.
+
+    ``axes`` maps parameter names to sweep expressions (strings straight
+    from the command line).  Unknown parameter names raise, exactly like
+    ``repro run``; parameters not swept keep their spec defaults.  Duplicate
+    points (e.g. ``--seed 1,1``) collapse to their first occurrence so a
+    sweep never runs — or counts — the same content key twice.
+    """
+    version = repro.__version__ if version is None else version
+    points: list[RunPoint] = []
+    seen: set[str] = set()
+    for name in match_experiments(pattern):
+        spec = get_spec(name)
+        known = {param.name for param in spec.params}
+        unknown = set(axes) - known
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) for {name!r}: {sorted(unknown)}; declared: {sorted(known)}"
+            )
+        value_axes = [
+            parse_values(param, axes[param.name]) if param.name in axes else [param.default]
+            for param in spec.params
+        ]
+        for combination in product(*value_axes):
+            overrides = {
+                param.name: value for param, value in zip(spec.params, combination)
+            }
+            resolved = spec.resolve(overrides)
+            key = content_key(name, resolved, version)
+            if key in seen:
+                continue
+            seen.add(key)
+            points.append(
+                RunPoint(
+                    name=name,
+                    params=resolved,
+                    key=key,
+                    filename=f"{name}-{key[:12]}.json",
+                )
+            )
+    return points
+
+
+def batch_points(
+    names: Sequence[str],
+    overrides: Mapping[str, Any],
+    version: str | None = None,
+) -> list[RunPoint]:
+    """One run point per name with scalar overrides (the ``batch`` shape).
+
+    Batch artifacts keep their historical ``<name>.json`` filenames: the
+    content key still identifies the run, so a rerun with changed
+    parameters or version misses the cache and overwrites the file.
+    """
+    version = repro.__version__ if version is None else version
+    points = []
+    for name in names:
+        resolved = get_spec(name).resolve(dict(overrides))
+        points.append(
+            RunPoint(
+                name=name,
+                params=resolved,
+                key=content_key(name, resolved, version),
+                filename=f"{name}.json",
+            )
+        )
+    return points

@@ -133,6 +133,11 @@ class ClusterNode:
         self.simulation: TestbedSimulation | None = None
         self.monitor: OnlineAgingMonitor | None = None
         self.latest_prediction: OnlinePrediction | None = None
+        #: Monotonic counter bumped whenever the TTF forecast can have
+        #: changed (new monitoring mark, crash, drain restart, fresh
+        #: incarnation).  The aging-aware routing policy keys its weight
+        #: cache on it, so it must never miss a forecast transition.
+        self.forecast_version = 0
         self._incarnation_index = 0
         self._drain_remaining = 0.0
         self._downtime_remaining = 0.0
@@ -242,6 +247,7 @@ class ClusterNode:
                 alarm_consecutive=self.alarm_consecutive,
             )
         self.latest_prediction = None
+        self.forecast_version += 1
         self.state = NodeState.ACTIVE
         # Fresh shared-scheduler settlement for the incarnation; the hottest
         # entry points are aliased straight onto the node so the engine pays
@@ -300,6 +306,7 @@ class ClusterNode:
         self.simulation = None
         self.monitor = None
         self.latest_prediction = None
+        self.forecast_version += 1
         # Release the dead incarnation's settlement too: it (and the aliased
         # bound methods) would otherwise pin the whole retired simulation for
         # the downtime.  Every event-path caller guards on live/ACTIVE state.
@@ -336,6 +343,7 @@ class ClusterNode:
         )
         if sample is not None and self.monitor is not None:
             self.latest_prediction = self.monitor.observe(sample)
+            self.forecast_version += 1
         return sample
 
     def describe(self) -> str:
@@ -406,6 +414,7 @@ class ClusterNode:
         sample = self.settlement.mark(j, assigned_ebs)
         if sample is not None and self.monitor is not None:
             self.latest_prediction = self.monitor.observe(sample)
+            self.forecast_version += 1
         return sample
 
     def ev_begin_drain(self, j: int) -> int:

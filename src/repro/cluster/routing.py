@@ -104,6 +104,20 @@ class AgingAwareRouting(RoutingPolicy):
     round-robin, so a node at weight 0.25 receives a quarter of the traffic
     of a healthy peer.
 
+    A node's health weight only changes when its forecast does — at a
+    monitoring mark, a crash or a restart — while ``route`` runs for every
+    request of every tick.  The policy therefore memoizes the weight vector
+    against the candidates' ``(node_id, forecast_version)`` tuples
+    (:attr:`~repro.cluster.node.ClusterNode.forecast_version` is a counter
+    the node bumps on every forecast transition) and rebuilds only when
+    membership or a forecast moved — so both engines benefit, whether they
+    reuse one candidate list between changes (the event engine) or build a
+    fresh-but-equal list per request (the per-second reference).  The
+    cached weights are the exact floats the uncached path would recompute,
+    so routing decisions are bit-for-bit identical either way; nodes that
+    do not expose the counter (e.g. bare test stubs) simply bypass the
+    cache.
+
     Parameters
     ----------
     ttf_comfort_seconds:
@@ -111,16 +125,30 @@ class AgingAwareRouting(RoutingPolicy):
         fully healthy.
     shed_floor:
         Minimum health weight of an alarmed node, in ``(0, 1]``.
+    cache_weights:
+        Memoize the weight vector between forecast changes (the default).
+        ``False`` recomputes every request — retained as the reference path
+        for the equivalence test and the routing micro-benchmark.
     """
 
-    def __init__(self, ttf_comfort_seconds: float = 900.0, shed_floor: float = 0.1) -> None:
+    def __init__(
+        self,
+        ttf_comfort_seconds: float = 900.0,
+        shed_floor: float = 0.1,
+        cache_weights: bool = True,
+    ) -> None:
         if ttf_comfort_seconds <= 0:
             raise ValueError("ttf_comfort_seconds must be positive")
         if not 0.0 < shed_floor <= 1.0:
             raise ValueError("shed_floor must be in (0, 1]")
         self.ttf_comfort_seconds = float(ttf_comfort_seconds)
         self.shed_floor = float(shed_floor)
+        self.cache_weights = bool(cache_weights)
         self._credit: dict[int, float] = {}
+        self._cached_ids: tuple[int, ...] | None = None
+        self._cached_versions: tuple[int, ...] | None = None
+        self._cached_weights: list[float] = []
+        self._cached_total = 0.0
 
     def health_weight(self, node: "ClusterNode") -> float:
         """Traffic weight of one node from its current TTF forecast."""
@@ -133,11 +161,38 @@ class AgingAwareRouting(RoutingPolicy):
     def weights(self, candidates: Sequence["ClusterNode"]) -> list[float]:
         return [self.health_weight(node) for node in candidates]
 
+    def _forecast_weights(self, candidates: Sequence["ClusterNode"]) -> tuple[list[float], float]:
+        """The candidates' weight vector and its sum, memoized between marks.
+
+        The cache key is the candidates' id tuple (membership) plus their
+        forecast version counters, so equal-membership lists hit no matter
+        which list object carries them.  Any node lacking the counter
+        disables the cache for the call — its weight could change without
+        a detectable signal.
+        """
+        versions = tuple(getattr(node, "forecast_version", None) for node in candidates)
+        if None not in versions:
+            ids = tuple(node.node_id for node in candidates)
+            if ids == self._cached_ids and versions == self._cached_versions:
+                return self._cached_weights, self._cached_total
+            weights = [self.health_weight(node) for node in candidates]
+            total = sum(weights)
+            self._cached_ids = ids
+            self._cached_versions = versions
+            self._cached_weights = weights
+            self._cached_total = total
+            return weights, total
+        weights = [self.health_weight(node) for node in candidates]
+        return weights, sum(weights)
+
     def route(self, candidates: Sequence["ClusterNode"]) -> "ClusterNode":
         if not candidates:
             raise ValueError("cannot route a request with no accepting nodes")
-        weights = self.weights(candidates)
-        total = sum(weights)
+        if self.cache_weights:
+            weights, total = self._forecast_weights(candidates)
+        else:
+            weights = self.weights(candidates)
+            total = sum(weights)
         # Smooth weighted round-robin: accumulate credit, serve the largest,
         # then charge it the round's total.  Deterministic and proportional.
         best_index = 0

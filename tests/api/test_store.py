@@ -1,0 +1,131 @@
+"""The content-addressed result store: hit/miss, invalidation, recovery."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.api.executor import run_points
+from repro.api.store import ResultStore
+from repro.api.sweep import batch_points, expand_sweep
+
+
+def _point(seed: int = 3, version: str | None = None) -> api.RunPoint:
+    """One fast figure1 run point (figure1 small runs in ~50 ms)."""
+    (point,) = expand_sweep("figure1", {"seed": str(seed)}, version=version)
+    return point
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "results")
+
+
+class TestContentKey:
+    def test_key_is_stable_for_equal_identity(self):
+        params = {"scale": "small", "seed": 3, "engine": "event"}
+        assert api.content_key("figure1", params, "1.0") == api.content_key(
+            "figure1", dict(params), "1.0"
+        )
+
+    def test_key_changes_with_every_identity_component(self):
+        params = {"scale": "small", "seed": 3, "engine": "event"}
+        base = api.content_key("figure1", params, "1.0")
+        assert api.content_key("figure2", params, "1.0") != base
+        assert api.content_key("figure1", {**params, "seed": 4}, "1.0") != base
+        assert api.content_key("figure1", params, "1.1") != base
+
+    def test_result_recomputes_its_own_key(self):
+        point = _point()
+        result = api.run(point.name, **point.params)
+        assert result.content_key() == point.key
+
+
+class TestHitAndMiss:
+    def test_absent_point_is_a_miss(self, store):
+        assert store.get(_point()) is None
+
+    def test_put_then_get_round_trips(self, store):
+        point = _point()
+        result = api.run(point.name, **point.params)
+        path = store.put(point, result)
+        assert path == store.path_for(point)
+        hit = store.get(point)
+        assert hit is not None
+        assert hit == result  # cache_hit provenance is excluded from equality
+        assert hit.cache_hit and not result.cache_hit
+
+    def test_no_scratch_files_survive_a_put(self, store):
+        point = _point()
+        store.put(point, api.run(point.name, **point.params))
+        assert [path.name for path in store.root.iterdir()] == [point.filename]
+
+    def test_version_change_invalidates_under_a_reused_filename(self, store):
+        # batch points pin the filename to <name>.json, so a version bump
+        # must be caught by the key check, not by the file name.
+        (old,) = batch_points(["figure1"], {"seed": 3}, version="0.9.0")
+        result = api.run(old.name, **old.params)
+        result.version = "0.9.0"  # simulate the artifact an older build wrote
+        store.put_text(old, result.to_json() + "\n")
+        (current,) = batch_points(["figure1"], {"seed": 3})
+        assert current.filename == old.filename
+        assert store.get(old) is not None
+        assert store.get(current) is None
+
+
+class TestRecoveryAndForce:
+    def test_corrupted_envelope_is_quarantined_and_missed(self, store):
+        point = _point()
+        store.put(point, api.run(point.name, **point.params))
+        store.path_for(point).write_text("{not json")
+        assert store.get(point) is None
+        names = sorted(path.name for path in store.root.iterdir())
+        assert names == [point.filename + ".corrupt"]
+
+    def test_binary_garbage_is_quarantined_not_fatal(self, store):
+        # A torn write can leave non-UTF-8 bytes; the store must treat it
+        # like any other corruption, never crash the sweep.
+        point = _point()
+        store.root.mkdir(parents=True)
+        store.path_for(point).write_bytes(b"\x80\x81\xfe\xff envelope?")
+        assert store.get(point) is None
+        assert (store.root / (point.filename + ".corrupt")).exists()
+
+    def test_sweep_heals_a_corrupted_store(self, store):
+        point = _point()
+        store.root.mkdir(parents=True)
+        store.path_for(point).write_text('{"schema_version": 99}')
+        (outcome,) = run_points([point], store, workers=1)
+        assert outcome.status == "ran"
+        assert api.RunResult.from_json(store.path_for(point).read_text()).seed == 3
+
+    def test_valid_json_that_is_not_an_envelope_is_a_miss(self, store):
+        point = _point()
+        store.root.mkdir(parents=True)
+        store.path_for(point).write_text(json.dumps({"schema_version": 1, "name": "figure1"}))
+        assert store.get(point) is None
+
+    def test_force_recomputes_over_a_hit(self, store):
+        point = _point()
+        (first,) = run_points([point], store, workers=1)
+        assert first.status == "ran"
+        (warm,) = run_points([point], store, workers=1)
+        assert warm.status == "cached"
+        (forced,) = run_points([point], store, workers=1, force=True)
+        assert forced.status == "ran"
+
+    def test_every_non_failed_outcome_carries_its_result(self, store):
+        point = _point()
+        (ran,) = run_points([point], store, workers=1)
+        (cached,) = run_points([point], store, workers=1)
+        assert ran.result is not None and not ran.result.cache_hit
+        assert cached.result is not None and cached.result.cache_hit
+        assert ran.result == cached.result  # provenance is out of equality
+
+    def test_no_cache_reruns_but_still_writes(self, store):
+        point = _point()
+        run_points([point], store, workers=1)
+        before = store.path_for(point).read_bytes()
+        (outcome,) = run_points([point], store, workers=1, use_cache=False)
+        assert outcome.status == "ran"
+        assert store.path_for(point).read_bytes() == before  # byte-stable rewrite

@@ -95,6 +95,64 @@ class TestAgingAware:
             AgingAwareRouting(shed_floor=1.5)
 
 
+class VersionedStubNode(StubNode):
+    """Stub exposing the forecast_version counter real ClusterNodes carry."""
+
+    def __init__(self, node_id, predicted_ttf_seconds=None):
+        super().__init__(node_id, predicted_ttf_seconds)
+        self.forecast_version = 0
+
+    def set_forecast(self, predicted_ttf_seconds):
+        self.predicted_ttf_seconds = predicted_ttf_seconds
+        self.forecast_version += 1
+
+
+class TestAgingAwareWeightCache:
+    """The memoized weight vector must never change a routing decision."""
+
+    def _decision_stream(self, policy, steps=400, width=6):
+        nodes = [VersionedStubNode(i, 900.0) for i in range(width)]
+        decisions = []
+        for step in range(steps):
+            if step % 50 == 25:  # a monitoring mark moves one node's forecast
+                nodes[step % width].set_forecast(50.0 + (step % 7) * 100.0)
+            if step % 90 == 60:  # a crash takes a node out, a restart heals one
+                nodes[(step + 1) % width].set_forecast(None)
+            decisions.append(policy.route(nodes).node_id)
+        return decisions
+
+    def test_cached_decisions_match_uncached_bit_for_bit(self):
+        cached = self._decision_stream(AgingAwareRouting(cache_weights=True))
+        uncached = self._decision_stream(AgingAwareRouting(cache_weights=False))
+        assert cached == uncached
+
+    def test_version_bump_invalidates_the_cache(self):
+        policy = AgingAwareRouting(ttf_comfort_seconds=900.0, shed_floor=0.1)
+        nodes = [VersionedStubNode(0, 900.0), VersionedStubNode(1, 900.0)]
+        for _ in range(10):
+            policy.route(nodes)
+        nodes[1].set_forecast(9.0)  # weight drops to the shed floor
+        counts = Counter(policy.route(nodes).node_id for _ in range(110))
+        assert counts[1] == pytest.approx(110 * 0.1 / 1.1, abs=2)
+
+    def test_membership_change_invalidates_the_cache(self):
+        policy = AgingAwareRouting()
+        nodes = [VersionedStubNode(i, 900.0) for i in range(3)]
+        for _ in range(9):
+            policy.route(nodes)
+        survivors = nodes[:2]  # fresh candidate list object, like the engine builds
+        assert {policy.route(survivors).node_id for _ in range(10)} == {0, 1}
+
+    def test_nodes_without_version_counter_bypass_the_cache(self):
+        policy = AgingAwareRouting(ttf_comfort_seconds=900.0, shed_floor=0.1)
+        nodes = fleet()  # plain stubs: no forecast_version attribute
+        for _ in range(10):
+            policy.route(nodes)
+        nodes[1].predicted_ttf_seconds = 9.0  # mutated without any signal
+        counts = Counter(policy.route(nodes).node_id for _ in range(210))
+        assert counts[1] == pytest.approx(210 * 0.1 / 2.1, abs=2)
+
+
 class TestLoadBalancerAllocations:
     def test_even_allocation_sums_to_total(self):
         balancer = LoadBalancer(RoundRobinRouting())
