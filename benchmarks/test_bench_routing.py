@@ -1,22 +1,27 @@
-"""Micro-benchmark of the aging-aware routing weight cache on a wide fleet.
+"""Micro-benchmarks of the aging-aware routing hot path on a wide fleet.
 
-``AgingAwareRouting.route`` used to recompute every candidate's
-forecast-derived health weight on every request, even though a weight can
-only move at a monitoring mark, a crash or a restart.  The policy now
-memoizes the weight vector per (candidate list, forecast version counters)
-and rebuilds only on a state change — this benchmark drives a wide fleet
-through a realistic request/mark cadence and asserts the cached policy is
-measurably faster while producing the bit-for-bit identical decision
-stream.
-
-Methodology matches the engine benchmarks: interleaved uncached/cached
+Two measurements, same methodology as the engine benchmarks (interleaved
 pairs, best-of-three per side within a pair, median per-pair ratio — so
-machine noise hits both sides of a pair alike.
+machine noise hits both sides of a pair alike):
+
+* **Regime cache** — ``AgingAwareRouting.route`` used to recompute every
+  candidate's forecast-derived health weight and walk a per-node credit
+  dict on every request.  Between forecast changes the policy now runs on
+  frozen weights and a dense credit array; this drives a wide fleet with
+  *messy* forecast values (no exact credit cycle exists) through a
+  realistic request/mark cadence and asserts the regime path is measurably
+  faster with a bit-for-bit identical decision stream.
+* **Cycle replay** — with dyadic health weights (healthy 1.0 / shedding
+  0.5, the common fleet shape) smooth WRR is exactly periodic; Brent
+  detection finds the period and every further request replays a recorded
+  winner in O(1) instead of scanning the fleet.  Epoch-wired nodes (the
+  fleet-shared ``RoutingEpoch`` counter real cluster nodes carry) make
+  regime revalidation two integer compares.
 """
 
 import time
 
-from repro.cluster.routing import AgingAwareRouting
+from repro.cluster.routing import AgingAwareRouting, RoutingEpoch
 
 from bench_util import print_comparison
 
@@ -26,6 +31,9 @@ _MARK_EVERY = 500  # one node's forecast moves every N requests (a mark cadence)
 _PAIRS = 5
 _RUNS_PER_SIDE = 3
 _MIN_SPEEDUP = 1.5
+
+_REPLAY_MARK_EVERY = 2_000  # longer regimes: most requests land in the replay
+_MIN_REPLAY_SPEEDUP = 2.5
 
 
 class _Node:
@@ -99,3 +107,82 @@ def test_routing_weight_cache_speedup(benchmark):
         ],
     )
     assert speedup >= _MIN_SPEEDUP
+
+
+class _EpochNode:
+    """Epoch-wired stub: bumps the fleet-shared counter like real nodes."""
+
+    __slots__ = ("node_id", "predicted_ttf_seconds", "forecast_version", "routing_epoch")
+
+    def __init__(self, node_id: int, predicted_ttf_seconds: float, epoch: RoutingEpoch) -> None:
+        self.node_id = node_id
+        self.predicted_ttf_seconds = predicted_ttf_seconds
+        self.forecast_version = 0
+        self.routing_epoch = epoch
+
+    def set_forecast(self, predicted_ttf_seconds: float) -> None:
+        self.predicted_ttf_seconds = predicted_ttf_seconds
+        self.forecast_version += 1
+        self.routing_epoch.version += 1
+
+
+def _drive_dyadic(cache_weights: bool) -> tuple[float, list[int]]:
+    """Route a dyadic-weight request stream once; return (seconds, decisions)."""
+    policy = AgingAwareRouting(ttf_comfort_seconds=900.0, shed_floor=0.1, cache_weights=cache_weights)
+    epoch = RoutingEpoch()
+    # A third of the fleet sheds at weight 0.5: smooth WRR cycles within
+    # 2 * sum(weights) <= 96 requests, well inside the recording cap.
+    nodes = [_EpochNode(i, 900.0 if i % 3 else 450.0, epoch) for i in range(_NUM_NODES)]
+    decisions = []
+    append = decisions.append
+    route = policy.route
+    started = time.perf_counter()
+    for request in range(_REQUESTS):
+        if request % _REPLAY_MARK_EVERY == 0:
+            node = nodes[(request // _REPLAY_MARK_EVERY) % _NUM_NODES]
+            node.set_forecast(450.0 if node.predicted_ttf_seconds == 900.0 else 900.0)
+        append(route(nodes).node_id)
+    return time.perf_counter() - started, decisions
+
+
+def _best_of_dyadic(cache_weights: bool) -> tuple[float, list[int]]:
+    best_seconds, decisions = None, None
+    for _ in range(_RUNS_PER_SIDE):
+        elapsed, decisions = _drive_dyadic(cache_weights)
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return best_seconds, decisions
+
+
+def test_routing_cycle_replay_speedup(benchmark):
+    """Dyadic-weight fleet: cycle replay >=2.5x, identical decisions."""
+    ratios = []
+    reference_times = []
+    replay_times = []
+    for _ in range(_PAIRS):
+        reference_seconds, reference_decisions = _best_of_dyadic(cache_weights=False)
+        replay_seconds, replay_decisions = _best_of_dyadic(cache_weights=True)
+        assert replay_decisions == reference_decisions
+        reference_times.append(reference_seconds)
+        replay_times.append(replay_seconds)
+        ratios.append(reference_seconds / replay_seconds)
+
+    benchmark.pedantic(lambda: _drive_dyadic(cache_weights=True), iterations=1, rounds=1)
+
+    speedup = sorted(ratios)[len(ratios) // 2]
+    benchmark.extra_info["num_nodes"] = _NUM_NODES
+    benchmark.extra_info["requests"] = _REQUESTS
+    benchmark.extra_info["reference_s"] = round(min(reference_times), 3)
+    benchmark.extra_info["replay_s"] = round(min(replay_times), 3)
+    benchmark.extra_info["speedup_x"] = round(speedup, 2)
+    print_comparison(
+        f"Routing: cycle replay on a {_NUM_NODES}-node dyadic fleet, {_REQUESTS} requests",
+        [
+            ("reference route (best pair)", "-", f"{min(reference_times):.3f} s"),
+            ("replay route (best pair)", "-", f"{min(replay_times):.3f} s"),
+            ("speedup (median of pairs)", f">= {_MIN_REPLAY_SPEEDUP:.1f}x", f"{speedup:.2f}x"),
+            ("per-pair ratios", "-", ", ".join(f"{r:.2f}x" for r in ratios)),
+            ("decision streams identical", "expected", "True"),
+        ],
+    )
+    assert speedup >= _MIN_REPLAY_SPEEDUP

@@ -59,9 +59,16 @@ Every spec shares the common parameters ``scale`` (``"small"`` /
 ``num_cycles`` and ``cluster`` adds ``kind``.  Use
 ``api.get_spec(name).describe()`` — or ``repro describe <name>`` — for the
 full parameter schema of any entry.
+
+Any run can be observed without perturbing it: pass a
+:class:`~repro.telemetry.Telemetry` hub (re-exported here) to
+:func:`run`, or ``trace=True`` to :func:`run_points`, and the engines
+record a deterministic sim-time trace whose canonical digest lands on
+``result.telemetry_digest`` — see :mod:`repro.telemetry`.
 """
 
 from repro.api.executor import PointOutcome, run_points
+from repro.telemetry import Telemetry, activate
 from repro.api.registry import (
     REGISTRY,
     get_spec,
@@ -86,6 +93,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "ExperimentSpec",
     "ParamSpec",
+    "Telemetry",
+    "activate",
     "batch_points",
     "collect_results",
     "content_key",

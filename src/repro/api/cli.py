@@ -1,6 +1,6 @@
 """The ``repro`` command-line interface over the experiment registry.
 
-Six subcommands, all driven by the declarative specs of
+Eight subcommands, all driven by the declarative specs of
 :mod:`repro.api.registry`:
 
 ``repro list``
@@ -8,21 +8,29 @@ Six subcommands, all driven by the declarative specs of
 ``repro describe <name>``
     The full parameter schema of one experiment.
 ``repro run <name> [--scale S] [--seed N] [--engine E] [-p key=value ...]
-[--out PATH] [--timing]``
+[--out PATH] [--timing] [--trace]``
     Run one experiment and print its summary; ``--out`` additionally writes
     the canonical JSON envelope (``-`` for stdout).  Two invocations with
     the same parameters write byte-identical JSON unless ``--timing`` embeds
-    the wall clock.
-``repro batch <glob> --out-dir DIR [common flags] [--workers N]``
+    the wall clock.  ``--trace`` runs under a telemetry hub, prints the
+    run's sim-channel digest and, with a file ``--out``, writes the
+    ``*.trace.jsonl`` sidecar next to the envelope.
+``repro batch <glob> --out-dir DIR [common flags] [--workers N] [--trace]``
     Run every experiment whose name matches the shell-style pattern and
     write one ``<out-dir>/<name>.json`` artifact per run.
 ``repro sweep <glob> [--seed 1..20] [--scale small,paper] [-p k=v1,v2 ...]
---out-dir DIR [--workers N]``
+--out-dir DIR [--workers N] [--trace]``
     Expand range/list parameter expressions into a deterministic grid of
     run points (see :mod:`repro.api.sweep`) and write one content-addressed
     ``<name>-<key>.json`` artifact per point.
 ``repro collect DIR [--out PATH]``
-    Fold a directory of envelopes into one summary table / canonical JSON.
+    Fold a directory of envelopes into one summary table / canonical JSON,
+    reporting each run's trace sidecar and digest when present.  A sidecar
+    without its envelope is corruption and fails the collection.
+``repro trace PATH [--limit N]``
+    Pretty-print a trace sidecar (or the sidecar next to an envelope path).
+``repro stats PATH``
+    Summarize a sidecar's counters, gauges and histograms.
 
 ``batch`` and ``sweep`` share the process-pool orchestrator of
 :mod:`repro.api.executor` (``--workers`` defaults to the machine's cores;
@@ -51,6 +59,15 @@ from repro.api.registry import get_spec, list_experiments, match_experiments, ru
 from repro.api.spec import ENGINES, SCALES
 from repro.api.store import ResultStore, collect_results, summary_json
 from repro.api.sweep import batch_points, expand_sweep
+from repro.telemetry import (
+    SIDECAR_SUFFIX,
+    Telemetry,
+    read_sidecar,
+    render_stats,
+    render_trace,
+    sidecar_path_for,
+    write_sidecar,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -74,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         metavar="PATH",
         help="write the result envelope as canonical JSON ('-' for stdout)",
+    )
+    run_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect telemetry: print the sim-channel digest and, with a "
+        "file --out, write the .trace.jsonl sidecar next to the envelope",
     )
 
     batch = subparsers.add_parser("batch", help="run every experiment matching a pattern")
@@ -125,6 +148,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the summary as canonical JSON ('-' for stdout)",
     )
+
+    trace = subparsers.add_parser("trace", help="pretty-print a telemetry trace sidecar")
+    trace.add_argument("path", help="a .trace.jsonl sidecar, or a result envelope next to one")
+    trace.add_argument(
+        "--limit",
+        type=int,
+        metavar="N",
+        help="show at most N events (default: all)",
+    )
+
+    stats = subparsers.add_parser(
+        "stats", help="summarize a trace sidecar's counters, gauges and histograms"
+    )
+    stats.add_argument("path", help="a .trace.jsonl sidecar, or a result envelope next to one")
     return parser
 
 
@@ -150,6 +187,12 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     """Orchestration flags shared by the grid commands (batch and sweep)."""
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run executed points under telemetry and write a .trace.jsonl "
+        "sidecar next to each envelope (cache hits keep their existing sidecars)",
+    )
     parser.add_argument(
         "--out-dir",
         metavar="DIR",
@@ -195,9 +238,9 @@ def _split_params(raw_params: Sequence[str]) -> list[tuple[str, str]]:
     return pairs
 
 
-def _execute(name: str, overrides: dict[str, Any]):
+def _execute(name: str, overrides: dict[str, Any], telemetry: Telemetry | None = None):
     try:
-        return run(name, **overrides)
+        return run(name, telemetry=telemetry, **overrides)
     except (KeyError, ValueError) as error:
         raise SystemExit(f"repro: {error}") from error
 
@@ -232,10 +275,19 @@ def _command_describe(name: str) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    result = _execute(args.name, _collect_overrides(args))
+    telemetry = Telemetry() if args.trace else None
+    result = _execute(args.name, _collect_overrides(args), telemetry)
     print(result.summary())
+    if telemetry is not None:
+        # The digest line is the grep-able determinism witness: two seeded
+        # invocations must print the same hex whatever machine ran them.
+        print(f"telemetry digest: {result.telemetry_digest}")
     if args.out:
         _write_result(result, args.out, args.timing)
+        if telemetry is not None and args.out != "-":
+            trace_path = sidecar_path_for(Path(args.out))
+            write_sidecar(telemetry, trace_path)
+            print(f"wrote {trace_path}")
     return 0
 
 
@@ -251,6 +303,8 @@ def _report_grid(kind: str, pattern: str, outcomes: list[PointOutcome], out_dir:
             print(f"  failed  {outcome.point.label}: {outcome.error}")
         else:
             note = f" ({outcome.wall_clock_seconds:.2f}s)" if outcome.status == "ran" else ""
+            if outcome.telemetry_digest is not None:
+                note += f" trace={outcome.telemetry_digest[:12]}"
             print(f"  {outcome.status:<6s}  {outcome.point.label} -> {outcome.point.filename}{note}")
     ran = sum(1 for outcome in outcomes if outcome.status == "ran")
     cached = sum(1 for outcome in outcomes if outcome.status == "cached")
@@ -282,6 +336,7 @@ def _run_grid(kind: str, pattern: str, points, args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         force=args.force,
         timing=args.timing,
+        trace=args.trace,
     )
     return _report_grid(kind, pattern, outcomes, args.out_dir)
 
@@ -316,13 +371,22 @@ def _command_collect(args: argparse.Namespace) -> int:
     directory = Path(args.directory)
     if not directory.is_dir():
         raise SystemExit(f"repro: {directory} is not a directory")
-    summary = collect_results(directory)
+    try:
+        summary = collect_results(directory)
+    except ValueError as error:  # orphaned trace sidecars: corrupt directory
+        raise SystemExit(f"repro: {error}") from error
     width = max((len(row["name"]) for row in summary["runs"]), default=4)
-    print(f"{'name':<{width}}  {'seed':>6s}  {'scale':<6s}  {'engine':<10s}  metrics  series")
+    print(
+        f"{'name':<{width}}  {'seed':>6s}  {'scale':<6s}  {'engine':<10s}  "
+        f"metrics  series  trace"
+    )
     for row in summary["runs"]:
+        digest = row["trace_digest"]
+        trace_note = digest[:12] if digest else ("present" if row["trace"] else "-")
         print(
             f"{row['name']:<{width}}  {row['seed']:>6d}  {row['scale']:<6s}  "
-            f"{row['engine']:<10s}  {len(row['metrics']):>7d}  {len(row['series_lengths']):>6d}"
+            f"{row['engine']:<10s}  {len(row['metrics']):>7d}  {len(row['series_lengths']):>6d}  "
+            f"{trace_note}"
         )
     for name, bucket in sorted(summary["by_name"].items()):
         print(f"{name}: {bucket['runs']} run(s)")
@@ -344,6 +408,31 @@ def _command_collect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_sidecar(raw_path: str) -> list[dict]:
+    """Resolve and parse a sidecar argument (accepts an envelope path too)."""
+    path = Path(raw_path)
+    if not path.name.endswith(SIDECAR_SUFFIX):
+        path = sidecar_path_for(path)
+    try:
+        return read_sidecar(path)
+    except OSError as error:
+        raise SystemExit(f"repro: cannot read {path}: {error.strerror or error}") from error
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}") from error
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    records = _load_sidecar(args.path)
+    print(render_trace(records, limit=args.limit))
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    records = _load_sidecar(args.path)
+    print(render_stats(records))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -358,6 +447,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_sweep(args)
     if args.command == "collect":
         return _command_collect(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    if args.command == "stats":
+        return _command_stats(args)
     raise SystemExit(f"repro: unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -16,16 +16,26 @@ up through orchestration:
 * the envelope bytes are produced inside the worker by the same
   ``RunResult.to_json`` canonical serializer the sequential path uses, so
   ``--workers 1`` and ``--workers N`` write byte-identical artifact sets;
+* with tracing enabled each worker also serializes its run's telemetry
+  sidecar to canonical JSONL text in-process and ships it back with the
+  envelope, so sidecar bytes obey the same worker-count independence;
 * a worker returns its envelope's content key alongside the text and the
   parent cross-checks it against the point's key, catching a worker that
   resolved a different package version;
 * failures never abort the grid: every failing point is captured with its
   exception and reported together, in point order.
+
+The orchestrator itself is observable through an optional parent-side
+telemetry hub: per-point statuses and wall clocks land on the ``profile``
+channel (they describe *this* execution — worker pids, cache luck,
+timings — and must stay out of any determinism contract, exactly like
+``RunResult.wall_clock_seconds``).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
@@ -35,6 +45,7 @@ from repro.api.registry import run
 from repro.api.result import RunResult
 from repro.api.store import ResultStore
 from repro.api.sweep import RunPoint
+from repro.telemetry import PROFILE, Telemetry, sidecar_path_for, trace_text, write_sidecar_text
 
 __all__ = ["PointOutcome", "execute_point", "run_points"]
 
@@ -52,25 +63,37 @@ class PointOutcome:
     error: str | None = None
     wall_clock_seconds: float = 0.0
     result: RunResult | None = None
+    trace_path: Path | None = None
+    telemetry_digest: str | None = None
 
     @property
     def ok(self) -> bool:
         return self.status != _FAILED
 
 
-def execute_point(name: str, params: Mapping[str, Any], timing: bool = False) -> tuple[str, str, float, int]:
-    """Run one point and return ``(envelope text, content key, wall clock, pid)``.
+def execute_point(
+    name: str, params: Mapping[str, Any], timing: bool = False, trace: bool = False
+) -> tuple[str, str, float, int, str | None, str | None]:
+    """Run one point and return ``(envelope text, content key, wall clock, pid,
+    sidecar text, telemetry digest)``.
 
     Module-level so worker processes can unpickle it; the text is the final
     canonical JSON (newline-terminated) ready to be written verbatim, which
-    is what keeps parallel and sequential artifact bytes identical.
+    is what keeps parallel and sequential artifact bytes identical.  With
+    ``trace=True`` the run executes under a telemetry hub and the sidecar's
+    canonical JSONL text rides back alongside the envelope — serialized in
+    the worker so the parent writes identical bytes at any worker count.
     """
-    result = run(name, **dict(params))
+    telemetry = Telemetry() if trace else None
+    result = run(name, telemetry=telemetry, **dict(params))
+    sidecar = trace_text(telemetry) if telemetry is not None else None
     return (
         result.to_json(include_timing=timing) + "\n",
         result.content_key(),
         result.wall_clock_seconds,
         os.getpid(),
+        sidecar,
+        result.telemetry_digest,
     )
 
 
@@ -79,7 +102,7 @@ def _settle(
     index: int,
     point: RunPoint,
     store: ResultStore,
-    payload: tuple[str, str, float, int] | None,
+    payload: tuple[str, str, float, int, str | None, str | None] | None,
     error: BaseException | None,
 ) -> None:
     """Record one completed point: write its artifact or capture its failure."""
@@ -89,7 +112,7 @@ def _settle(
         )
         return
     assert payload is not None
-    text, key, wall_clock, pid = payload
+    text, key, wall_clock, pid, sidecar, digest = payload
     if key != point.key:
         outcome_slot[index] = PointOutcome(
             point=point,
@@ -100,6 +123,12 @@ def _settle(
         return
     try:
         path = store.put_text(point, text)
+        trace_path = None
+        if sidecar is not None:
+            # The sidecar is written only after (and next to) its envelope,
+            # so a trace file on disk always has its envelope: ``repro
+            # collect`` treats the converse as corruption.
+            trace_path = write_sidecar_text(sidecar, sidecar_path_for(path))
     except OSError as write_error:  # disk full / permissions: fail the point, not the grid
         outcome_slot[index] = PointOutcome(
             point=point,
@@ -110,8 +139,15 @@ def _settle(
     result = RunResult.from_json(text)  # uniform: 'ran' carries the result like 'cached'
     result.wall_clock_seconds = wall_clock
     result.worker_pid = pid
+    result.telemetry_digest = digest
     outcome_slot[index] = PointOutcome(
-        point=point, status=_RAN, path=path, wall_clock_seconds=wall_clock, result=result
+        point=point,
+        status=_RAN,
+        path=path,
+        wall_clock_seconds=wall_clock,
+        result=result,
+        trace_path=trace_path,
+        telemetry_digest=digest,
     )
 
 
@@ -122,6 +158,8 @@ def run_points(
     use_cache: bool = True,
     force: bool = False,
     timing: bool = False,
+    trace: bool = False,
+    telemetry: Telemetry | None = None,
 ) -> list[PointOutcome]:
     """Execute a grid of run points against a result store.
 
@@ -129,6 +167,14 @@ def run_points(
     ``force=True`` recomputes and overwrites even on a hit.  The returned
     list is ordered like ``points`` regardless of completion order; every
     non-failed outcome carries its :class:`RunResult`.
+
+    ``trace=True`` runs every executed point under a telemetry hub and
+    writes its trace sidecar next to the envelope; cache hits are served
+    as-is (the cached envelope *is* the run — any sidecar from the run
+    that produced it is still valid and left untouched).  ``telemetry``
+    optionally collects the orchestrator's own profiling counters (point
+    statuses, per-point wall clocks, worker utilization) on the
+    wall-clock-tainted ``profile`` channel.
 
     With ``workers > 1`` each worker process re-imports the registry, so
     points must reference experiments registered at import time (the
@@ -140,49 +186,82 @@ def run_points(
     workers = (os.cpu_count() or 1) if workers is None else workers
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    started = time.perf_counter()
+    previous_store_telemetry = store.telemetry
+    if telemetry is not None:
+        store.telemetry = telemetry
 
-    outcomes: list[PointOutcome | None] = [None] * len(points)
-    pending: list[int] = []
-    for index, point in enumerate(points):
-        if use_cache and not force:
-            hit = store.get(point)
-            if hit is not None:
-                outcomes[index] = PointOutcome(
-                    point=point,
-                    status=_CACHED,
-                    path=store.path_for(point),
-                    wall_clock_seconds=hit.wall_clock_seconds,
-                    result=hit,
-                )
-                continue
-        pending.append(index)
+    try:
+        outcomes: list[PointOutcome | None] = [None] * len(points)
+        pending: list[int] = []
+        for index, point in enumerate(points):
+            if use_cache and not force:
+                hit = store.get(point)
+                if hit is not None:
+                    outcomes[index] = PointOutcome(
+                        point=point,
+                        status=_CACHED,
+                        path=store.path_for(point),
+                        wall_clock_seconds=hit.wall_clock_seconds,
+                        result=hit,
+                    )
+                    continue
+            pending.append(index)
 
-    if workers == 1 or len(pending) <= 1:
-        for index in pending:
-            point = points[index]
-            try:
-                payload = execute_point(point.name, point.params, timing)
-            except Exception as error:
-                _settle(outcomes, index, point, store, None, error)
-            else:
-                _settle(outcomes, index, point, store, payload, None)
-    elif pending:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-            futures: dict[Future[Any], int] = {
-                pool.submit(execute_point, points[index].name, points[index].params, timing): index
-                for index in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:  # write each envelope as soon as it lands
-                    index = futures[future]
-                    point = points[index]
-                    error = future.exception()
-                    if error is not None:
-                        _settle(outcomes, index, point, store, None, error)
-                    else:
-                        _settle(outcomes, index, point, store, future.result(), None)
+        if workers == 1 or len(pending) <= 1:
+            for index in pending:
+                point = points[index]
+                point_started = time.perf_counter()
+                try:
+                    payload = execute_point(point.name, point.params, timing, trace)
+                except Exception as error:
+                    _settle(outcomes, index, point, store, None, error)
+                else:
+                    _settle(outcomes, index, point, store, payload, None)
+                if telemetry is not None:
+                    telemetry.profile(
+                        f"executor.point.{point.name}", time.perf_counter() - point_started
+                    )
+        elif pending:
+            pool_workers = min(workers, len(pending))
+            busy_pids: set[int] = set()
+            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+                futures: dict[Future[Any], int] = {
+                    pool.submit(
+                        execute_point, points[index].name, points[index].params, timing, trace
+                    ): index
+                    for index in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:  # write each envelope as soon as it lands
+                        index = futures[future]
+                        point = points[index]
+                        error = future.exception()
+                        if error is not None:
+                            _settle(outcomes, index, point, store, None, error)
+                        else:
+                            payload = future.result()
+                            busy_pids.add(payload[3])
+                            _settle(outcomes, index, point, store, payload, None)
+                        settled = outcomes[index]
+                        if telemetry is not None and settled is not None:
+                            telemetry.profile(
+                                f"executor.point.{point.name}", settled.wall_clock_seconds
+                            )
+            if telemetry is not None:
+                telemetry.count("executor.pool_workers", pool_workers, channel=PROFILE)
+                telemetry.count("executor.workers_used", len(busy_pids), channel=PROFILE)
 
-    assert all(outcome is not None for outcome in outcomes)
-    return [outcome for outcome in outcomes if outcome is not None]
+        assert all(outcome is not None for outcome in outcomes)
+        settled_outcomes = [outcome for outcome in outcomes if outcome is not None]
+        if telemetry is not None:
+            for status in (_RAN, _CACHED, _FAILED):
+                total = sum(1 for outcome in settled_outcomes if outcome.status == status)
+                if total:
+                    telemetry.count(f"executor.points_{status}", total, channel=PROFILE)
+            telemetry.profile("executor.run_points", time.perf_counter() - started)
+        return settled_outcomes
+    finally:
+        store.telemetry = previous_store_telemetry

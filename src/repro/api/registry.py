@@ -46,6 +46,7 @@ from repro.experiments.exp43 import run_experiment_43
 from repro.experiments.exp44 import run_experiment_44
 from repro.experiments.figures import figure1_series, figure2_series
 from repro.experiments.scenarios import CLUSTER_SCENARIO_KINDS, ClusterScenario, ExperimentScenarios
+from repro.telemetry import Telemetry, activate
 
 __all__ = ["REGISTRY", "register", "get_spec", "list_experiments", "match_experiments", "run"]
 
@@ -85,19 +86,36 @@ def match_experiments(pattern: str) -> list[str]:
     return matches
 
 
-def run(name: str, **params: Any) -> RunResult:
+def run(name: str, *, telemetry: Telemetry | None = None, **params: Any) -> RunResult:
     """Run a registered experiment and return the uniform result envelope.
 
     ``params`` override the spec's declared defaults; unknown names raise.
     The returned :class:`RunResult` serializes losslessly via ``to_json`` /
     ``from_json`` and is byte-stable across same-seed runs.
+
+    Passing a :class:`~repro.telemetry.Telemetry` hub activates it for the
+    duration of the run: every engine the experiment constructs instruments
+    itself against the hub, the run's identity is stamped into the hub's
+    trace metadata, and the resulting sim-channel digest is recorded on
+    ``result.telemetry_digest``.  Instrumentation never changes the
+    simulated results — a traced run returns an envelope byte-identical to
+    an untraced one.
     """
     spec = get_spec(name)
     resolved = spec.resolve(params)
     started = time.perf_counter()
-    metrics, series = spec.runner(**resolved)
+    if telemetry is None:
+        metrics, series = spec.runner(**resolved)
+    else:
+        # The engine parameter stays out of the trace meta: the meta record
+        # is part of the sim-channel digest, and the digest must agree
+        # between the event-driven and per-second engines.
+        meta_params = {key: value for key, value in resolved.items() if key != "engine"}
+        telemetry.meta = {"experiment": spec.name, "params": meta_params}
+        with activate(telemetry):
+            metrics, series = spec.runner(**resolved)
     elapsed = time.perf_counter() - started
-    return RunResult.build(
+    result = RunResult.build(
         name=spec.name,
         description=spec.description,
         category=spec.category,
@@ -107,6 +125,10 @@ def run(name: str, **params: Any) -> RunResult:
         version=repro.__version__,
         wall_clock_seconds=elapsed,
     )
+    if telemetry is not None:
+        telemetry.profile("experiment.run", elapsed)
+        result.telemetry_digest = telemetry.digest()
+    return result
 
 
 # --------------------------------------------------------------------------

@@ -123,6 +123,13 @@ class RunResult:
     #: distinguish two otherwise identical results.
     cache_hit: bool = field(default=False, compare=False)
     worker_pid: int | None = field(default=None, compare=False)
+    #: sha256 of the canonical sim-channel telemetry trace, stamped by
+    #: :func:`repro.api.run` when a telemetry hub is attached.  Execution
+    #: provenance like the two above: it stays out of the serialized
+    #: envelope (the digest lives in the trace sidecar's own digest line)
+    #: and out of equality, so traced and untraced runs emit identical
+    #: envelope bytes.
+    telemetry_digest: str | None = field(default=None, compare=False)
 
     @classmethod
     def build(

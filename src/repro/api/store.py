@@ -30,15 +30,29 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.api.result import RunResult
+from repro.telemetry import (
+    PROFILE,
+    SIDECAR_SUFFIX,
+    envelope_path_for,
+    sidecar_digest,
+    sidecar_path_for,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.sweep import RunPoint
+    from repro.telemetry import Telemetry
 
 __all__ = ["ResultStore", "collect_results", "summary_json"]
 
 
 class ResultStore:
     """Directory of run envelopes addressed by content key."""
+
+    #: Optional telemetry hub (injected by the executor).  Store events are
+    #: profiling data — whether a given sweep got lucky in the cache says
+    #: nothing about the simulated results — so they count on the
+    #: ``profile`` channel and never reach a trace sidecar.
+    telemetry: "Telemetry | None" = None
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
@@ -62,6 +76,7 @@ class ResultStore:
             self._quarantine(path)
             return None
         except OSError:  # absent, unreadable, or not a file at all
+            self._count("store.misses")
             return None
         try:
             result = RunResult.from_json(text)
@@ -69,8 +84,10 @@ class ResultStore:
             self._quarantine(path)
             return None
         if result.content_key() != point.key:
+            self._count("store.misses")
             return None  # same filename, different run (params or version moved)
         result.cache_hit = True
+        self._count("store.hits")
         return result
 
     def put_text(self, point: "RunPoint", text: str) -> Path:
@@ -91,10 +108,16 @@ class ResultStore:
         return self.put_text(point, result.to_json(include_timing=timing) + "\n")
 
     def _quarantine(self, path: Path) -> None:
+        self._count("store.quarantined")
+        self._count("store.misses")
         try:
             path.replace(path.with_name(path.name + ".corrupt"))
         except OSError:  # pragma: no cover - racing filesystem; miss either way
             pass
+
+    def _count(self, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.count(name, channel=PROFILE)
 
 
 def collect_results(root: str | Path) -> dict[str, Any]:
@@ -103,12 +126,32 @@ def collect_results(root: str | Path) -> dict[str, Any]:
     The summary carries one row per loadable envelope (sorted by name, then
     seed, scale, engine and content key — never by directory order), plus
     per-experiment aggregates: run count and min/mean/max over every numeric
-    metric.  Unreadable files are counted, not fatal: a sweep interrupted
-    mid-write must still collect.  The mapping serializes to canonical JSON
-    (sorted keys, finite floats), so equal directories collect to equal
-    bytes.
+    metric.  Each row reports its trace sidecar, if one sits next to the
+    envelope, as ``trace``/``trace_digest``.  Unreadable files are counted,
+    not fatal: a sweep interrupted mid-write must still collect.  The
+    mapping serializes to canonical JSON (sorted keys, finite floats), so
+    equal directories collect to equal bytes.
+
+    One corruption *is* fatal: a trace sidecar whose envelope is missing.
+    The executor only ever writes a sidecar after its envelope, so an
+    orphaned trace means results were deleted or the directory was
+    hand-edited — silently summarizing over it would report a directory
+    that cannot have been produced by any run.  Orphans raise
+    ``ValueError`` naming every offending file.
     """
     root = Path(root)
+    orphans = sorted(
+        path.name
+        for path in root.glob(f"*{SIDECAR_SUFFIX}")
+        if not envelope_path_for(path).is_file()
+    )
+    if orphans:
+        raise ValueError(
+            "orphaned trace sidecar(s) without a result envelope: "
+            + ", ".join(orphans)
+            + " (sidecars are only written next to their envelope; "
+            "was a result file deleted?)"
+        )
     runs: list[dict[str, Any]] = []
     skipped: list[str] = []
     for path in sorted(root.glob("*.json")):
@@ -117,6 +160,8 @@ def collect_results(root: str | Path) -> dict[str, Any]:
         except (ValueError, KeyError, TypeError):
             skipped.append(path.name)
             continue
+        sidecar = sidecar_path_for(path)
+        has_trace = sidecar.is_file()
         runs.append(
             {
                 "file": path.name,
@@ -129,6 +174,8 @@ def collect_results(root: str | Path) -> dict[str, Any]:
                 "version": result.version,
                 "metrics": dict(result.metrics),
                 "series_lengths": {key: len(values) for key, values in result.series.items()},
+                "trace": sidecar.name if has_trace else None,
+                "trace_digest": sidecar_digest(sidecar) if has_trace else None,
             }
         )
     runs.sort(key=lambda row: (row["name"], row["seed"], row["scale"], row["engine"], row["key"]))

@@ -29,10 +29,12 @@ import math
 from typing import TYPE_CHECKING, Sequence
 
 from repro.cluster.node import NodeState
+from repro.telemetry.hub import ENGINE
 from repro.testbed.timeline import first_tick_at_or_after
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.node import ClusterNode
+    from repro.telemetry.hub import Telemetry
 
 __all__ = [
     "ClusterRejuvenationCoordinator",
@@ -60,6 +62,12 @@ class ClusterRejuvenationCoordinator(abc.ABC):
     #: so a coordinator reading them forces a fleet-wide synchronisation at
     #: each decision tick.
     reads_node_uptime: bool = False
+
+    #: Telemetry hub the cluster engine injects when tracing is active.
+    #: Coordinator counters live on the ``engine`` channel: the two engines
+    #: call :meth:`decide` at different tick sets, so the counts are
+    #: engine-specific diagnostics, not part of the sim-channel contract.
+    telemetry: "Telemetry | None" = None
 
     @abc.abstractmethod
     def decide(self, now_seconds: float, nodes: Sequence["ClusterNode"]) -> list["ClusterNode"]:
@@ -180,12 +188,17 @@ class RollingPredictiveRejuvenation(ClusterRejuvenationCoordinator):
             ),
         )
         chosen: list["ClusterNode"] = []
-        for node in alarmed:
+        deferred = 0
+        for index, node in enumerate(alarmed):
             if budget <= 0 or active - 1 < floor:
+                deferred = len(alarmed) - index
                 break
             chosen.append(node)
             budget -= 1
             active -= 1
+        if deferred and self.telemetry is not None:
+            reason = "budget" if budget <= 0 else "floor"
+            self.telemetry.count(f"coordinator.{reason}_deferrals", deferred, channel=ENGINE)
         return chosen
 
     def describe(self) -> str:

@@ -52,7 +52,7 @@ from typing import Sequence
 from repro.cluster.balancer import LoadBalancer
 from repro.cluster.coordinator import ClusterRejuvenationCoordinator, NoClusterRejuvenation
 from repro.cluster.node import ClusterNode, InjectorFactory
-from repro.cluster.routing import RoutingPolicy
+from repro.cluster.routing import RoutingEpoch, RoutingPolicy
 from repro.cluster.status import ClusterOutcome, FleetStatus
 from repro.core.predictor import AgingPredictor
 from repro.testbed.events import next_fire_tick
@@ -61,6 +61,8 @@ from repro.testbed.clock import SimulationClock
 from repro.testbed.config import TestbedConfig
 from repro.testbed.errors import ServerCrash
 from repro.testbed.tpcw.workload import WorkloadGenerator, WorkloadMix
+from repro.telemetry import runtime as telemetry_runtime
+from repro.telemetry.hub import ENGINE as _ENGINE_CHANNEL
 
 __all__ = ["ClusterEngine", "PerSecondClusterEngine"]
 
@@ -155,6 +157,11 @@ class ClusterEngine:
 
         factory: InjectorFactory = injector_factory if injector_factory is not None else (lambda _seed: [])
         self.clock = SimulationClock(self.config.tick_seconds)
+        self.telemetry = telemetry_runtime.active()
+        #: Fleet-shared forecast epoch: every node bumps it in lockstep with
+        #: its own ``forecast_version``, giving the aging-aware routing
+        #: policy an O(1) "has anything changed?" check per request.
+        self.routing_epoch = RoutingEpoch()
         self.workload = WorkloadGenerator(
             num_browsers=total_ebs,
             mean_think_time_s=self.config.mean_think_time_s,
@@ -175,10 +182,20 @@ class ClusterEngine:
                 drain_seconds=drain_seconds,
                 rejuvenation_downtime_seconds=rejuvenation_downtime_seconds,
                 crash_downtime_seconds=crash_downtime_seconds,
+                routing_epoch=self.routing_epoch,
+                fleet_clock=self.clock,
             )
             for node_id in range(num_nodes)
         ]
         self.status = FleetStatus(num_nodes)
+        if self.telemetry is not None:
+            self.coordinator.telemetry = self.telemetry
+            self.telemetry.event(
+                "run_begin",
+                0,
+                run="fleet",
+                data={"nodes": num_nodes, "total_ebs": total_ebs, "seed": seed},
+            )
         #: Requests rerouted to a surviving node after a mid-request crash.
         self.requests_rerouted = 0
         self._finished = False
@@ -230,13 +247,20 @@ class ClusterEngine:
                 break
             if upcoming > current + 1:
                 self.status.record_quiet_span(upcoming - 1 - current, tick, self._active_count)
+            if self.telemetry is not None:
+                self.telemetry.count("cluster.event_ticks", channel=_ENGINE_CHANNEL)
+                self.telemetry.observe(
+                    "cluster.fast_forward_ticks", upcoming - current, channel=_ENGINE_CHANNEL
+                )
             current = upcoming
             self._process_event_tick(current)
         if self.clock.ticks < final_tick:
             self.clock.advance(final_tick - self.clock.ticks)
         for node in self.nodes:
             node.ev_flush(final_tick)
-        return self.outcome()
+        outcome = self.outcome()
+        self._telemetry_finalize(outcome)
+        return outcome
 
     def _check_single_use(self, max_seconds: float) -> None:
         if max_seconds <= 0:
@@ -448,6 +472,42 @@ class ClusterEngine:
             coordinator_description=self.coordinator.describe(),
         )
 
+    def _telemetry_finalize(self, outcome: ClusterOutcome) -> None:
+        """Flush end-of-run fleet telemetry (sim channel, gauges: idempotent)."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        for node in self.nodes:
+            if node.simulation is not None:
+                node.simulation._telemetry_finish()
+        telemetry.gauge("cluster.served_requests", outcome.served_requests)
+        telemetry.gauge("cluster.dropped_requests", outcome.dropped_requests)
+        telemetry.gauge("cluster.rerouted_requests", self.requests_rerouted)
+        telemetry.gauge("cluster.crashes", outcome.crashes)
+        telemetry.gauge("cluster.rejuvenations", outcome.rejuvenations)
+        telemetry.gauge("cluster.availability", outcome.availability)
+        telemetry.gauge("cluster.full_outage_seconds", outcome.full_outage_seconds)
+        telemetry.gauge("cluster.degraded_seconds", outcome.degraded_seconds)
+        telemetry.gauge("cluster.min_active_nodes", outcome.min_active_nodes)
+        for node in self.nodes:
+            # Per-node routing totals: the sum of every routing decision the
+            # balancer made in this node's favour (engine-invariant).
+            telemetry.gauge(f"node.n{node.node_id}.requests_served", node.requests_served)
+            telemetry.gauge(f"node.n{node.node_id}.uptime_seconds", node.uptime_seconds)
+            telemetry.gauge(f"node.n{node.node_id}.crashes", node.crashes)
+            telemetry.gauge(f"node.n{node.node_id}.rejuvenations", node.rejuvenations)
+        telemetry.event(
+            "run_end",
+            self.clock.ticks,
+            run="fleet",
+            data={
+                "served": outcome.served_requests,
+                "dropped": outcome.dropped_requests,
+                "crashes": outcome.crashes,
+                "rejuvenations": outcome.rejuvenations,
+            },
+        )
+
     def describe(self) -> str:
         return (
             f"{type(self).__name__}({len(self.nodes)} nodes, {self.total_ebs} EBs, "
@@ -470,7 +530,13 @@ class PerSecondClusterEngine(ClusterEngine):
         while self.clock.now < max_seconds:
             self.clock.advance()
             self._run_one_tick(tick)
-        return self.outcome()
+        outcome = self.outcome()
+        if self.telemetry is not None:
+            self.telemetry.count(
+                "cluster.per_second.ticks", self.clock.ticks, channel=_ENGINE_CHANNEL
+            )
+        self._telemetry_finalize(outcome)
+        return outcome
 
     def _run_one_tick(self, tick: float) -> None:
         live_nodes = [node for node in self.nodes if node.advance_tick(tick)]

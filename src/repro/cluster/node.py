@@ -51,8 +51,11 @@ from repro.testbed.errors import ServerCrash
 from repro.testbed.events import TickSettlement
 from repro.testbed.faults.injector import FaultInjector
 from repro.testbed.monitoring.collector import MonitoringSample, Trace
+from repro.testbed.clock import SimulationClock
 from repro.testbed.timeline import countdown_after, ticks_until_nonpositive
 from repro.testbed.tpcw.interactions import Interaction
+from repro.cluster.routing import RoutingEpoch
+from repro.telemetry import runtime as telemetry_runtime
 
 __all__ = ["ClusterNode", "NodeState", "InjectorFactory"]
 
@@ -109,6 +112,8 @@ class ClusterNode:
         drain_seconds: float = 30.0,
         rejuvenation_downtime_seconds: float = 120.0,
         crash_downtime_seconds: float = 900.0,
+        routing_epoch: RoutingEpoch | None = None,
+        fleet_clock: SimulationClock | None = None,
     ) -> None:
         if drain_seconds < 0:
             raise ValueError("drain_seconds cannot be negative")
@@ -138,6 +143,14 @@ class ClusterNode:
         #: incarnation).  The aging-aware routing policy keys its weight
         #: cache on it, so it must never miss a forecast transition.
         self.forecast_version = 0
+        #: Fleet-shared epoch bumped in lockstep with ``forecast_version``
+        #: (see :meth:`_bump_forecast`); lets the routing policy detect an
+        #: unchanged fleet regime with one integer compare per request.
+        self.routing_epoch = routing_epoch
+        #: The engine's fleet clock, used only to stamp telemetry events.
+        self._fleet_clock = fleet_clock
+        self.telemetry = telemetry_runtime.active()
+        self._telemetry_run = f"n{node_id}"
         self._incarnation_index = 0
         self._drain_remaining = 0.0
         self._downtime_remaining = 0.0
@@ -225,7 +238,8 @@ class ClusterNode:
     # -------------------------------------------------------------- lifecycle
 
     def _start_incarnation(self, base_tick: int = 0) -> None:
-        incarnation_seed = self.seed + _INCARNATION_SEED_STRIDE * self._incarnation_index
+        incarnation = self._incarnation_index
+        incarnation_seed = self.seed + _INCARNATION_SEED_STRIDE * incarnation
         self._incarnation_index += 1
         # The node's own workload generator is never ticked (the cluster
         # engine routes the fleet-level workload), so one browser suffices.
@@ -234,6 +248,7 @@ class ClusterNode:
             workload_ebs=1,
             injectors=list(self.injector_factory(incarnation_seed)),
             seed=incarnation_seed,
+            telemetry_label=f"n{self.node_id}i{incarnation}",
         )
         trace = self.simulation.begin()
         trace.metadata["node_id"] = self.node_id
@@ -247,8 +262,9 @@ class ClusterNode:
                 alarm_consecutive=self.alarm_consecutive,
             )
         self.latest_prediction = None
-        self.forecast_version += 1
+        self._bump_forecast()
         self.state = NodeState.ACTIVE
+        self._tel_event("node_up", incarnation=incarnation)
         # Fresh shared-scheduler settlement for the incarnation; the hottest
         # entry points are aliased straight onto the node so the engine pays
         # no extra indirection per routed request.
@@ -293,8 +309,31 @@ class ClusterNode:
             raise RuntimeError(f"only an ACTIVE node can start draining (node is {self.state.value})")
         self.state = NodeState.DRAINING
         self._drain_remaining = self.drain_seconds
+        self._tel_event("drain_begin")
+
+    def _bump_forecast(self) -> None:
+        """Signal that the TTF forecast can have changed.
+
+        Bumps the node's own ``forecast_version`` and, in lockstep, the
+        fleet-shared :class:`RoutingEpoch` the routing policy's fast path
+        keys on.  Every forecast transition must go through here -- a missed
+        epoch bump would let the policy replay a stale routing regime.
+        """
+        self.forecast_version += 1
+        if self.routing_epoch is not None:
+            self.routing_epoch.version += 1
+
+    def _tel_event(self, kind: str, **data: object) -> None:
+        """Record one node-lifecycle event on the sim channel (fleet ticks)."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        tick = self._fleet_clock.ticks if self._fleet_clock is not None else 0
+        telemetry.event(kind, tick, run=self._telemetry_run, data=data)
 
     def _enter_restart(self, planned: bool) -> None:
+        if self.telemetry is not None and self.simulation is not None:
+            self.simulation._telemetry_finish()
         self.state = NodeState.RESTARTING
         self._downtime_planned = planned
         if planned:
@@ -303,10 +342,13 @@ class ClusterNode:
         else:
             self.crashes += 1
             self._downtime_remaining = self.crash_downtime_seconds
+        self._tel_event(
+            "restart_begin", planned=planned, downtime=self._downtime_remaining
+        )
         self.simulation = None
         self.monitor = None
         self.latest_prediction = None
-        self.forecast_version += 1
+        self._bump_forecast()
         # Release the dead incarnation's settlement too: it (and the aliased
         # bound methods) would otherwise pin the whole retired simulation for
         # the downtime.  Every event-path caller guards on live/ACTIVE state.
@@ -342,9 +384,25 @@ class ClusterNode:
             workload_ebs=assigned_ebs,
         )
         if sample is not None and self.monitor is not None:
-            self.latest_prediction = self.monitor.observe(sample)
-            self.forecast_version += 1
+            self._observe_sample(sample)
         return sample
+
+    def _observe_sample(self, sample: MonitoringSample) -> None:
+        """Stream one mark through the monitor; refresh forecast telemetry."""
+        monitor = self.monitor
+        alarmed_before = monitor.alarm_raised
+        self.latest_prediction = monitor.observe(sample)
+        self._bump_forecast()
+        if self.telemetry is not None:
+            self.telemetry.count("forecast_refreshes")
+            if monitor.alarm_raised and not alarmed_before:
+                prediction = self.latest_prediction
+                self._tel_event(
+                    "alarm",
+                    predicted_ttf=(
+                        prediction.predicted_ttf_seconds if prediction is not None else None
+                    ),
+                )
 
     def describe(self) -> str:
         return (
@@ -413,8 +471,7 @@ class ClusterNode:
         assert self.settlement is not None
         sample = self.settlement.mark(j, assigned_ebs)
         if sample is not None and self.monitor is not None:
-            self.latest_prediction = self.monitor.observe(sample)
-            self.forecast_version += 1
+            self._observe_sample(sample)
         return sample
 
     def ev_begin_drain(self, j: int) -> int:

@@ -32,10 +32,28 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "RoutingPolicy",
+    "RoutingEpoch",
     "RoundRobinRouting",
     "LeastConnectionsRouting",
     "AgingAwareRouting",
 ]
+
+
+class RoutingEpoch:
+    """Fleet-shared change counter that lets routing skip per-request checks.
+
+    The cluster engine creates one epoch per fleet and hands it to every
+    node; a node bumps :attr:`version` whenever anything that can move a
+    routing decision changes (a forecast transition, a restart, a crash).
+    A policy that has validated a candidate list once can then revalidate
+    it with two integer comparisons -- ``candidates is last_list`` and
+    ``epoch.version == last_version`` -- instead of walking the nodes.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self) -> None:
+        self.version = 0
 
 
 class RoutingPolicy(abc.ABC):
@@ -106,17 +124,33 @@ class AgingAwareRouting(RoutingPolicy):
 
     A node's health weight only changes when its forecast does — at a
     monitoring mark, a crash or a restart — while ``route`` runs for every
-    request of every tick.  The policy therefore memoizes the weight vector
-    against the candidates' ``(node_id, forecast_version)`` tuples
-    (:attr:`~repro.cluster.node.ClusterNode.forecast_version` is a counter
-    the node bumps on every forecast transition) and rebuilds only when
-    membership or a forecast moved — so both engines benefit, whether they
-    reuse one candidate list between changes (the event engine) or build a
-    fresh-but-equal list per request (the per-second reference).  The
-    cached weights are the exact floats the uncached path would recompute,
-    so routing decisions are bit-for-bit identical either way; nodes that
-    do not expose the counter (e.g. bare test stubs) simply bypass the
-    cache.
+    request of every tick.  Between two such changes the candidates form a
+    *regime*: membership and weights are frozen, so the smooth-WRR credit
+    scan is a fixed deterministic map on the credit vector.  The policy
+    exploits that at two levels:
+
+    * Within a regime it works on a dense local credit array (no dict
+      lookups) and runs Brent cycle detection on the credit state.  Smooth
+      WRR over rational weights is periodic — e.g. a fleet of healthy
+      nodes plus half-weight shedding nodes cycles after ``sum(2*w)``
+      requests — and once the period is found, every further ``route`` is
+      an O(1) replay of the recorded winner sequence.  Weight vectors
+      whose period exceeds the recording cap simply keep using the plain
+      array scan.
+    * A regime is revalidated cheaply: if the engine passes the *same
+      list object* and the fleet's shared :class:`RoutingEpoch` counter
+      has not moved, no per-node work happens at all; otherwise the
+      candidates' ``(node_id, forecast_version)`` tuples are compared
+      (:attr:`~repro.cluster.node.ClusterNode.forecast_version` is a
+      counter the node bumps on every forecast transition), so the
+      per-second reference engine's fresh-but-equal lists still hit.
+
+    The local credit array starts from the reference implementation's
+    per-node credit dict and is written back when the regime ends, and the
+    scan performs the identical float operations in the identical order,
+    so routing decisions are bit-for-bit identical to the reference scan
+    either way; nodes that do not expose the version counter (e.g. bare
+    test stubs) bypass the machinery entirely.
 
     Parameters
     ----------
@@ -130,6 +164,13 @@ class AgingAwareRouting(RoutingPolicy):
         ``False`` recomputes every request — retained as the reference path
         for the equivalence test and the routing micro-benchmark.
     """
+
+    #: Longest winner sequence Brent detection will record before giving up
+    #: on finding a cycle for the current regime.  Dyadic weight vectors
+    #: (healthy 1.0 / shed 0.5 fleets) cycle within ``2 * sum(weights)``
+    #: steps; irrational-looking float mixes may never recur exactly, and
+    #: past this cap the regime just keeps the plain array scan.
+    RECORD_CAP = 2048
 
     def __init__(
         self,
@@ -145,10 +186,25 @@ class AgingAwareRouting(RoutingPolicy):
         self.shed_floor = float(shed_floor)
         self.cache_weights = bool(cache_weights)
         self._credit: dict[int, float] = {}
-        self._cached_ids: tuple[int, ...] | None = None
-        self._cached_versions: tuple[int, ...] | None = None
-        self._cached_weights: list[float] = []
-        self._cached_total = 0.0
+        # Regime identity: the validated candidate list (by object identity),
+        # the fleet epoch backing the fast path, and the (ids, versions) key
+        # backing the slow path.
+        self._regime_list: Sequence["ClusterNode"] | None = None
+        self._regime_epoch: RoutingEpoch | None = None
+        self._regime_epoch_version = 0
+        self._regime_key: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+        self._regime_ids: tuple[int, ...] = ()
+        # Regime dynamics: frozen weights, live credit array, and the Brent
+        # cycle-detection state over it.
+        self._weights_vec: list[float] = []
+        self._total = 0.0
+        self._credits: list[float] = []
+        self._steps = 0
+        self._snap_step = 0
+        self._snap_credits: list[float] | None = None
+        self._record: list[int] = []
+        self._power = 1
+        self._cycle_len: int | None = None
 
     def health_weight(self, node: "ClusterNode") -> float:
         """Traffic weight of one node from its current TTF forecast."""
@@ -161,38 +217,44 @@ class AgingAwareRouting(RoutingPolicy):
     def weights(self, candidates: Sequence["ClusterNode"]) -> list[float]:
         return [self.health_weight(node) for node in candidates]
 
-    def _forecast_weights(self, candidates: Sequence["ClusterNode"]) -> tuple[list[float], float]:
-        """The candidates' weight vector and its sum, memoized between marks.
-
-        The cache key is the candidates' id tuple (membership) plus their
-        forecast version counters, so equal-membership lists hit no matter
-        which list object carries them.  Any node lacking the counter
-        disables the cache for the call — its weight could change without
-        a detectable signal.
-        """
-        versions = tuple(getattr(node, "forecast_version", None) for node in candidates)
-        if None not in versions:
-            ids = tuple(node.node_id for node in candidates)
-            if ids == self._cached_ids and versions == self._cached_versions:
-                return self._cached_weights, self._cached_total
-            weights = [self.health_weight(node) for node in candidates]
-            total = sum(weights)
-            self._cached_ids = ids
-            self._cached_versions = versions
-            self._cached_weights = weights
-            self._cached_total = total
-            return weights, total
-        weights = [self.health_weight(node) for node in candidates]
-        return weights, sum(weights)
-
     def route(self, candidates: Sequence["ClusterNode"]) -> "ClusterNode":
         if not candidates:
             raise ValueError("cannot route a request with no accepting nodes")
-        if self.cache_weights:
-            weights, total = self._forecast_weights(candidates)
-        else:
+        if not self.cache_weights:
+            # Reference path, retained for the equivalence tests and the
+            # routing micro-benchmark.
             weights = self.weights(candidates)
-            total = sum(weights)
+            return self._reference_scan(candidates, weights, sum(weights))
+        # Fast path: the engine handed back the exact list object we already
+        # validated and the fleet epoch has not moved, so membership and
+        # every forecast are provably unchanged.
+        if (
+            candidates is self._regime_list
+            and self._regime_epoch is not None
+            and self._regime_epoch.version == self._regime_epoch_version
+        ):
+            return candidates[self._regime_step()]
+        versions = tuple(getattr(node, "forecast_version", None) for node in candidates)
+        if None in versions:
+            # A candidate without the version counter could change weight
+            # with no detectable signal: sync back and take the reference
+            # path for this call.
+            self._exit_regime()
+            weights = self.weights(candidates)
+            return self._reference_scan(candidates, weights, sum(weights))
+        ids = tuple(node.node_id for node in candidates)
+        if (ids, versions) == self._regime_key:
+            # Same regime through a different (or epoch-less) list object --
+            # the per-second engine rebuilds its candidate list per request.
+            self._rebind_regime(candidates)
+            return candidates[self._regime_step()]
+        self._exit_regime()
+        self._enter_regime(candidates, ids, versions)
+        return candidates[self._regime_step()]
+
+    def _reference_scan(
+        self, candidates: Sequence["ClusterNode"], weights: Sequence[float], total: float
+    ) -> "ClusterNode":
         # Smooth weighted round-robin: accumulate credit, serve the largest,
         # then charge it the round's total.  Deterministic and proportional.
         best_index = 0
@@ -206,6 +268,120 @@ class AgingAwareRouting(RoutingPolicy):
         chosen = candidates[best_index]
         self._credit[chosen.node_id] = self._credit[chosen.node_id] - total
         return chosen
+
+    def _enter_regime(
+        self,
+        candidates: Sequence["ClusterNode"],
+        ids: tuple[int, ...],
+        versions: tuple[int, ...],
+    ) -> None:
+        self._regime_list = candidates
+        self._regime_key = (ids, versions)
+        self._regime_ids = ids
+        epoch = getattr(candidates[0], "routing_epoch", None)
+        if epoch is not None and all(
+            getattr(node, "routing_epoch", None) is epoch for node in candidates
+        ):
+            self._regime_epoch = epoch
+            self._regime_epoch_version = epoch.version
+        else:
+            self._regime_epoch = None
+        self._weights_vec = [self.health_weight(node) for node in candidates]
+        self._total = sum(self._weights_vec)
+        self._credits = [self._credit.get(node_id, 0.0) for node_id in ids]
+        self._steps = 0
+        self._snap_step = 0
+        self._snap_credits = list(self._credits)
+        self._record = []
+        self._power = 1
+        self._cycle_len = None
+
+    def _rebind_regime(self, candidates: Sequence["ClusterNode"]) -> None:
+        self._regime_list = candidates
+        if self._regime_epoch is not None:
+            # The epoch may have been bumped by a node outside this regime;
+            # the (ids, versions) match just proved our members are intact.
+            self._regime_epoch_version = self._regime_epoch.version
+
+    def _exit_regime(self) -> None:
+        """Write the regime's credit state back to the per-node dict."""
+        if self._regime_key is None:
+            return
+        for node_id, credit in zip(self._regime_ids, self._current_credits()):
+            self._credit[node_id] = credit
+        self._regime_list = None
+        self._regime_epoch = None
+        self._regime_key = None
+        self._regime_ids = ()
+        self._weights_vec = []
+        self._credits = []
+        self._snap_credits = None
+        self._record = []
+        self._cycle_len = None
+
+    def _regime_step(self) -> int:
+        """Advance the regime by one request and return the winner's index."""
+        step = self._steps
+        self._steps = step + 1
+        cycle = self._cycle_len
+        if cycle is not None:
+            return self._record[(step - self._snap_step) % cycle]
+        winner = self._scan(self._credits)
+        if self._snap_credits is not None:
+            record = self._record
+            record.append(winner)
+            if self._credits == self._snap_credits:
+                # The credit state recurred: the winner sequence since the
+                # snapshot is exactly one period.  Replay from here on.
+                self._cycle_len = len(record)
+            elif len(record) == self._power:
+                if self._power >= self.RECORD_CAP:
+                    # No cycle within the cap -- keep the plain array scan.
+                    self._snap_credits = None
+                    self._record = []
+                else:
+                    # Brent: move the snapshot forward, double the search
+                    # window.  Guarantees detection in O(cycle length).
+                    self._snap_step = step + 1
+                    self._snap_credits = list(self._credits)
+                    self._record = []
+                    self._power *= 2
+        return winner
+
+    def _scan(self, credits: list[float]) -> int:
+        """One smooth-WRR credit scan over the regime's dense arrays.
+
+        Performs float operations identical (in value and order) to
+        :meth:`_reference_scan` over the same members, so the two paths
+        yield bit-for-bit equal credits and decisions.
+        """
+        weights = self._weights_vec
+        best_index = 0
+        best_credit = float("-inf")
+        for index in range(len(credits)):
+            credit = credits[index] + weights[index]
+            credits[index] = credit
+            if credit > best_credit:
+                best_credit = credit
+                best_index = index
+        credits[best_index] = credits[best_index] - self._total
+        return best_index
+
+    def _current_credits(self) -> list[float]:
+        """The regime's credit state at the current step.
+
+        While replaying a detected cycle the live array is frozen at the
+        snapshot state; the true state is reconstructed by re-running the
+        scan for the current phase of the cycle.  Because the snapshot
+        state recurs exactly, these are the same float operations the
+        reference would have performed on its most recent steps.
+        """
+        if self._cycle_len is None:
+            return self._credits
+        credits = list(self._snap_credits or ())
+        for _ in range((self._steps - self._snap_step) % self._cycle_len):
+            self._scan(credits)
+        return credits
 
     def describe(self) -> str:
         return (

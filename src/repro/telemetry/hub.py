@@ -1,0 +1,179 @@
+"""The telemetry hub: counters, gauges, histograms and the event trace.
+
+Determinism rules baked into the data model:
+
+- Events carry integer simulation ticks, never wall-clock timestamps.
+- Aggregates are plain dicts keyed by ``(channel, name)``; serialization
+  sorts them, so insertion order cannot leak into the canonical trace.
+- Histograms use fixed power-of-two buckets -- no data-dependent bucket
+  boundaries that could differ between runs.
+- The event list is capped.  Overflow increments ``dropped_events`` (made
+  visible in the trace) instead of growing without bound; the cap is part of
+  the determinism contract because two identical runs drop identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["SIM", "ENGINE", "PROFILE", "Histogram", "TraceEvent", "Telemetry"]
+
+#: Engine-invariant semantic channel; the only channel the digest covers.
+SIM = "sim"
+#: Deterministic engine-specific mechanics; in the sidecar, not the digest.
+ENGINE = "engine"
+#: Wall-clock profiling; never serialized into the sidecar.
+PROFILE = "profile"
+
+_CHANNELS = frozenset((SIM, ENGINE, PROFILE))
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured trace event, stamped with a simulation tick.
+
+    ``run`` is a caller-chosen *stable* label ("testbed", "fleet", "n3i2" for
+    node 3's incarnation 2) -- never an allocation-ordered integer, so the
+    identity of an event cannot depend on which simulation happened to start
+    first.  Serialization stable-sorts events by ``(tick, run)``; within one
+    ``(tick, run)`` pair the recording order is preserved (a single
+    simulation's code path, deterministic by construction).
+    """
+
+    channel: str
+    kind: str
+    tick: int
+    run: str
+    data: Mapping[str, object] = field(default_factory=dict)
+
+
+class Histogram:
+    """Fixed power-of-two-bucket histogram for non-negative integer values.
+
+    Bucket ``b`` counts observations with ``previous bucket < value <= b``;
+    values of zero land in bucket 0 and values in (0, 1] in bucket 1.  The
+    bucket layout is value-independent, so two runs observing the same values
+    serialize identically.
+    """
+
+    __slots__ = ("count", "total", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: int) -> None:
+        value = int(value)
+        if value < 0:
+            raise ValueError("histogram values must be non-negative")
+        self.count += 1
+        self.total += value
+        bucket = 0 if value == 0 else 1 << (value - 1).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "buckets": [[le, n] for le, n in sorted(self.buckets.items())],
+        }
+
+
+class Telemetry:
+    """Accumulates one run's telemetry across every instrumented layer.
+
+    A hub is *passive*: engines look it up through
+    :func:`repro.telemetry.runtime.active` at construction and call the
+    methods below at their instrumentation points.  Multiple simulations may
+    share one hub (a cluster run creates one ``TestbedSimulation`` per node
+    incarnation); each carries a stable run label ("testbed", "fleet",
+    "n3i2") that keeps its events attributable.
+    """
+
+    def __init__(self, max_events: int = 200_000) -> None:
+        if max_events < 0:
+            raise ValueError("max_events must be non-negative")
+        self.max_events = int(max_events)
+        self.meta: dict[str, object] | None = None
+        self.events: list[TraceEvent] = []
+        self.dropped_events = 0
+        self.counters: dict[tuple[str, str], int | float] = {}
+        self.gauges: dict[tuple[str, str], int | float] = {}
+        self.histograms: dict[tuple[str, str], Histogram] = {}
+
+    # ------------------------------------------------------------- recording
+
+    def event(
+        self,
+        kind: str,
+        tick: int,
+        *,
+        run: str = "main",
+        channel: str = SIM,
+        data: Mapping[str, object] | None = None,
+    ) -> None:
+        """Append one trace event (dropped, and counted, past the cap)."""
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(
+            TraceEvent(channel=channel, kind=kind, tick=int(tick), run=run, data=data or {})
+        )
+
+    def count(self, name: str, value: int | float = 1, *, channel: str = SIM) -> None:
+        key = (channel, name)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: int | float, *, channel: str = SIM) -> None:
+        self.gauges[(channel, name)] = value
+
+    def observe(self, name: str, value: int, *, channel: str = SIM) -> None:
+        key = (channel, name)
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = self.histograms[key] = Histogram()
+        histogram.observe(value)
+
+    def profile(self, name: str, seconds: float) -> None:
+        """Record one wall-clock timing on the non-deterministic channel."""
+        self.count(f"{name}.calls", channel=PROFILE)
+        self.count(f"{name}.seconds", seconds, channel=PROFILE)
+
+    # --------------------------------------------------------------- queries
+
+    def snapshot(self) -> dict[str, object]:
+        """In-memory sink: the current state as plain (JSON-able) dicts."""
+        return {
+            "meta": dict(self.meta) if self.meta is not None else None,
+            "events": [
+                {
+                    "channel": e.channel,
+                    "kind": e.kind,
+                    "tick": e.tick,
+                    "run": e.run,
+                    "data": dict(e.data),
+                }
+                for e in self.events
+            ],
+            "dropped_events": self.dropped_events,
+            "counters": {
+                f"{channel}.{name}": value
+                for (channel, name), value in sorted(self.counters.items())
+            },
+            "gauges": {
+                f"{channel}.{name}": value
+                for (channel, name), value in sorted(self.gauges.items())
+            },
+            "histograms": {
+                f"{channel}.{name}": histogram.as_dict()
+                for (channel, name), histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def digest(self) -> str:
+        """sha256 over the canonical ``sim``-channel trace lines."""
+        from repro.telemetry.sinks import trace_digest
+
+        return trace_digest(self)

@@ -1,0 +1,43 @@
+"""Ambient telemetry activation.
+
+Engines capture the active hub at construction time::
+
+    with telemetry.activate(hub):
+        simulation = TestbedSimulation(...)   # self.telemetry = hub
+        simulation.run(...)
+
+so instrumentation needs no parameter threading through every constructor,
+and the disabled path stays a single ``self.telemetry is None`` check.  The
+active hub is process-global on purpose: a run executes on one process (sweep
+workers each activate their own hub in their own process), and the previous
+hub is restored on exit so activations nest.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.telemetry.hub import Telemetry
+
+__all__ = ["activate", "active"]
+
+_active: "Telemetry | None" = None
+
+
+def active() -> "Telemetry | None":
+    """The currently active hub, or ``None`` when telemetry is disabled."""
+    return _active
+
+
+@contextmanager
+def activate(telemetry: "Telemetry | None") -> Iterator["Telemetry | None"]:
+    """Install ``telemetry`` as the ambient hub for the duration of a block."""
+    global _active
+    previous = _active
+    _active = telemetry
+    try:
+        yield telemetry
+    finally:
+        _active = previous

@@ -1,0 +1,91 @@
+"""Human rendering for ``repro trace`` and ``repro stats``.
+
+Both commands parse a sidecar with :func:`repro.telemetry.sinks.read_sidecar`
+and hand the records here.  The renderers are pure (records in, text out) so
+they are equally usable on a live hub via ``trace_records``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["render_trace", "render_stats"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _format_data(data: dict) -> str:
+    return " ".join(f"{key}={_format_value(value)}" for key, value in sorted(data.items()))
+
+
+def render_trace(records: Iterable[dict], limit: int | None = None) -> str:
+    """The event timeline, one ``tick=... [channel] kind`` line per event."""
+    lines = []
+    shown = 0
+    total_events = 0
+    for record in records:
+        kind = record.get("type")
+        if kind == "meta":
+            name = record.get("experiment", record.get("name", "?"))
+            dropped = record.get("dropped_events", 0)
+            lines.append(f"trace for {name!r} (schema {record.get('schema')}, dropped={dropped})")
+        elif kind == "event":
+            total_events += 1
+            if limit is not None and shown >= limit:
+                continue
+            shown += 1
+            data = _format_data(record.get("data", {}))
+            lines.append(
+                f"  tick={record.get('tick'):>8} run={record.get('run')} "
+                f"[{record.get('channel')}] {record.get('kind')}"
+                + (f"  {data}" if data else "")
+            )
+        elif kind == "digest":
+            lines.append(f"digest {record.get('algo')}:{record.get('value')}")
+    if limit is not None and total_events > shown:
+        lines.insert(-1, f"  ... {total_events - shown} more event(s) (raise --limit to see them)")
+    return "\n".join(lines)
+
+
+def render_stats(records: Iterable[dict]) -> str:
+    """Counters, gauges and histograms as an aligned summary table."""
+    counters, gauges, histograms = [], [], []
+    header = "telemetry stats"
+    digest_line = None
+    for record in records:
+        kind = record.get("type")
+        if kind == "meta":
+            header = f"telemetry stats for {record.get('experiment', record.get('name', '?'))!r}"
+        elif kind == "counter":
+            counters.append(record)
+        elif kind == "gauge":
+            gauges.append(record)
+        elif kind == "histogram":
+            histograms.append(record)
+        elif kind == "digest":
+            digest_line = f"digest {record.get('algo')}:{record.get('value')}"
+    lines = [header]
+    for title, rows in (("counters", counters), ("gauges", gauges)):
+        if rows:
+            lines.append(f"{title}:")
+            width = max(len(f"{r['channel']}.{r['name']}") for r in rows)
+            for row in rows:
+                label = f"{row['channel']}.{row['name']}"
+                lines.append(f"  {label:<{width}}  {_format_value(row['value'])}")
+    if histograms:
+        lines.append("histograms:")
+        for row in histograms:
+            count = row.get("count", 0)
+            total = row.get("total", 0)
+            mean = total / count if count else 0.0
+            buckets = " ".join(f"le{le}:{n}" for le, n in row.get("buckets", []))
+            lines.append(
+                f"  {row['channel']}.{row['name']}  count={count} mean={mean:g}  {buckets}"
+            )
+    if digest_line is not None:
+        lines.append(digest_line)
+    return "\n".join(lines)

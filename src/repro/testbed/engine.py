@@ -53,6 +53,8 @@ from repro.testbed.monitoring.collector import MetricsCollector, MonitoringSampl
 from repro.testbed.osmodel.system import OperatingSystem
 from repro.testbed.tpcw.interactions import Interaction
 from repro.testbed.tpcw.workload import WorkloadGenerator, WorkloadMix
+from repro.telemetry import runtime as telemetry_runtime
+from repro.telemetry.hub import ENGINE
 
 __all__ = ["ScheduledAction", "TestbedSimulation"]
 
@@ -103,10 +105,19 @@ class TestbedSimulation:
         schedule: Sequence[ScheduledAction] = (),
         mix: WorkloadMix = WorkloadMix.SHOPPING,
         seed: int = 0,
+        telemetry_label: str = "testbed",
     ) -> None:
         self.config = config if config is not None else TestbedConfig()
         self.seed = seed
         self._rng = random.Random(seed)
+        # Ambient telemetry: captured once here so every instrumentation
+        # point below is a single ``is None`` check when disabled.  The label
+        # is a stable run identity ("testbed", or "n3i2" for a cluster node's
+        # incarnation) -- part of the deterministic trace, so it must never
+        # encode construction order.
+        self.telemetry = telemetry_runtime.active()
+        self.telemetry_label = telemetry_label
+        self._telemetry_finished = False
 
         self.clock = SimulationClock(self.config.tick_seconds)
         self.heap = GenerationalHeap(
@@ -182,6 +193,9 @@ class TestbedSimulation:
                 self.record_crash(now, crash)
                 break
             self.end_tick(now, requests_this_tick)
+        if self.telemetry is not None:
+            self.telemetry.count("per_second.ticks", self.clock.ticks, channel=ENGINE)
+            self._telemetry_finish()
         return trace
 
     def _run_one_tick(self, now: float) -> int:
@@ -230,6 +244,13 @@ class TestbedSimulation:
                 "mix": self.workload.mix.value,
             },
         )
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "run_begin",
+                self.clock.ticks,
+                run=self.telemetry_label,
+                data={"seed": self.seed, "ebs": self.workload.num_browsers},
+            )
         return self._trace
 
     def begin_tick(self) -> float:
@@ -282,6 +303,8 @@ class TestbedSimulation:
             workload_ebs=workload_ebs,
         )
         self.trace.samples.append(sample)
+        if self.telemetry is not None:
+            self._telemetry_mark(sample)
         return sample
 
     def serve(self, interaction: Interaction) -> RequestOutcome:
@@ -322,6 +345,8 @@ class TestbedSimulation:
             workload_ebs=workload_ebs if workload_ebs is not None else self.workload.num_browsers,
         )
         self.trace.samples.append(sample)
+        if self.telemetry is not None:
+            self._telemetry_mark(sample)
         return sample
 
     def record_crash(self, now: float, crash: ServerCrash) -> None:
@@ -331,6 +356,75 @@ class TestbedSimulation:
         trace.crash_time_seconds = now
         trace.crash_resource = crash.resource
         trace.metadata["crash_message"] = str(crash)
+        if self.telemetry is not None:
+            # Stamp with the tick derived from the crash *time*, not the live
+            # clock: the event engine records a crash before replaying the
+            # final tick, so its clock can lag the reference's by one here
+            # even though the crash time itself is bit-identical.
+            self.telemetry.event(
+                "crash",
+                int(round(now / self.config.tick_seconds)),
+                run=self.telemetry_label,
+                data={"time": now, "resource": crash.resource},
+            )
+            self.telemetry.count("crashes")
+
+    # ------------------------------------------------------------- telemetry
+
+    def _telemetry_mark(self, sample: MonitoringSample) -> None:
+        """Record one monitoring mark on the sim channel (telemetry enabled).
+
+        The tick is derived from the sample's timestamp (bit-identical across
+        engines by the golden parity contract) rather than the live clock, so
+        the event is engine-invariant by construction.
+        """
+        self.telemetry.event(
+            "mark",
+            int(round(sample.time_seconds / self.config.tick_seconds)),
+            run=self.telemetry_label,
+            data={
+                "time": sample.time_seconds,
+                "throughput_rps": sample.throughput_rps,
+                "footprint_mb": sample.tomcat_memory_used_mb,
+                "threads": sample.num_threads,
+                "load": sample.system_load,
+            },
+        )
+        self.telemetry.count("marks")
+
+    def _telemetry_finish(self) -> None:
+        """Flush end-of-run totals (requests, GC) to the sim channel, once.
+
+        Called by both run loops and -- for cluster incarnations -- by the
+        node when an incarnation ends or the fleet run completes.
+        """
+        telemetry = self.telemetry
+        if telemetry is None or self._telemetry_finished or self._trace is None:
+            return
+        self._telemetry_finished = True
+        telemetry.count("requests_served", self.server.total_requests)
+        collector = self.heap.collector
+        telemetry.count("gc_minor", collector.minor_collections)
+        telemetry.count("gc_full", collector.full_collections)
+        telemetry.count("heap_resizes", collector.resizes)
+        trace = self._trace
+        end_tick = (
+            int(round(trace.crash_time_seconds / self.config.tick_seconds))
+            if trace.crashed and trace.crash_time_seconds is not None
+            else self.clock.ticks
+        )
+        telemetry.event(
+            "run_end",
+            end_tick,
+            run=self.telemetry_label,
+            data={
+                "crashed": trace.crashed,
+                "samples": len(trace.samples),
+                "requests": self.server.total_requests,
+                "gc_minor": collector.minor_collections,
+                "gc_full": collector.full_collections,
+            },
+        )
 
     # ------------------------------------------------------ scheduled actions
 

@@ -65,6 +65,7 @@ from typing import Callable
 
 from repro.testbed.errors import ServerCrash
 from repro.testbed.timeline import first_tick_at_or_after, ticks_until_nonpositive
+from repro.telemetry.hub import ENGINE as _ENGINE_CHANNEL
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.testbed.engine import TestbedSimulation
@@ -133,6 +134,7 @@ class TickSettlement:
         "_open_reqs",
         "_boundary",
         "_segments",
+        "_telemetry",
         "mark_interval_ticks",
     )
 
@@ -154,6 +156,8 @@ class TickSettlement:
         self._boundary: tuple[float, int] | None = None
         #: Closed lite ticks: (tick, requests, footprint_after, busy_after).
         self._segments: list[tuple[int, int, float, int]] = []
+        #: Engine-channel telemetry (settlement batch sizes); None = disabled.
+        self._telemetry = simulation.telemetry
         #: Monitoring cadence in whole ticks (exact for the 1-second tick).
         self.mark_interval_ticks = first_tick_at_or_after(
             simulation.config.monitoring_interval_s, simulation.config.tick_seconds
@@ -247,6 +251,10 @@ class TickSettlement:
         assert last_tick >= cursor, "OS settlement must never move backwards"
         previous = self._boundary
         segments = self._segments
+        if self._telemetry is not None and segments:
+            self._telemetry.observe(
+                "event.settle_segments", len(segments), channel=_ENGINE_CHANNEL
+            )
         if segments:
             for seg_tick, requests, footprint, busy in segments:
                 gap = seg_tick - cursor - 1
@@ -427,6 +435,8 @@ class TickSettlement:
             workload_ebs=workload_ebs,
         )
         sim.trace.samples.append(sample)
+        if sim.telemetry is not None:
+            sim._telemetry_mark(sample)
         return sample
 
 
@@ -530,6 +540,12 @@ def run_event_driven(sim: "TestbedSimulation", max_seconds: float) -> "Trace":
     jvm_mb = config.jvm_overhead_mb
     perm_mb = heap_.perm_used_mb
 
+    # Engine-channel telemetry: local accumulators flushed once at the end,
+    # so the disabled path costs one predicate test per event tick.
+    tel = sim.telemetry
+    previous_tick = 0
+    n_event_ticks = n_action_wakes = n_mark_wakes = n_injector_wakes = n_request_ticks = 0
+
     current = 0
     while current < final_tick:
         upcoming = fires[0][0] if fires else None
@@ -548,6 +564,14 @@ def run_event_driven(sim: "TestbedSimulation", max_seconds: float) -> "Trace":
                 mark_due = True
             else:
                 injector_due = True
+
+        if tel is not None:
+            n_event_ticks += 1
+            n_action_wakes += action_due
+            n_mark_wakes += mark_due
+            n_injector_wakes += injector_due
+            tel.observe("event.fast_forward_ticks", current - previous_tick, channel=_ENGINE_CHANNEL)
+            previous_tick = current
 
         if action_due or injector_due:
             # Full begin: clock, OS backlog, scheduled actions (exactly the
@@ -590,6 +614,8 @@ def run_event_driven(sim: "TestbedSimulation", max_seconds: float) -> "Trace":
 
         # ------------------------------------------------- this tick's requests
         if fires and fires[0][0] == current:
+            if tel is not None:
+                n_request_ticks += 1
             if not tick_begun:
                 # Lite begin plus eager clock, inlined from TickSettlement.
                 # serve_begin / advance_clock_to and SimulationClock /
@@ -755,4 +781,11 @@ def run_event_driven(sim: "TestbedSimulation", max_seconds: float) -> "Trace":
 
     if not trace.crashed:
         settle.settle_through(final_tick)
+    if tel is not None:
+        tel.count("event.event_ticks", n_event_ticks, channel=_ENGINE_CHANNEL)
+        tel.count("event.wakes.action", n_action_wakes, channel=_ENGINE_CHANNEL)
+        tel.count("event.wakes.mark", n_mark_wakes, channel=_ENGINE_CHANNEL)
+        tel.count("event.wakes.injector", n_injector_wakes, channel=_ENGINE_CHANNEL)
+        tel.count("event.request_ticks", n_request_ticks, channel=_ENGINE_CHANNEL)
+        sim._telemetry_finish()
     return trace

@@ -120,3 +120,65 @@ class TestSeededCliSmoke:
         assert result.name == "exp41"
         assert result.metrics["m5p_leaves"] >= 1
         assert result.version == repro.__version__
+
+
+class TestTraceCommands:
+    """``--trace`` on run, plus the ``trace`` and ``stats`` viewers."""
+
+    def _traced_run(self, tmp_path, name="run1"):
+        out_file = tmp_path / f"{name}.json"
+        assert main(["run", "figure1", "--scale", "small", "--seed", "3",
+                     "--trace", "--out", str(out_file)]) == 0
+        return out_file
+
+    def test_run_trace_prints_digest_and_writes_sidecar(self, tmp_path, capsys):
+        out_file = self._traced_run(tmp_path)
+        out = capsys.readouterr().out
+        (digest_line,) = [l for l in out.splitlines() if l.startswith("telemetry digest: ")]
+        digest = digest_line.removeprefix("telemetry digest: ")
+        assert len(digest) == 64
+        sidecar = out_file.with_name("run1.trace.jsonl")
+        assert sidecar.exists()
+        assert f'"value":"{digest}"' in sidecar.read_text().splitlines()[-1]
+
+    def test_repeat_traced_runs_agree(self, tmp_path, capsys):
+        first = self._traced_run(tmp_path, "a")
+        second = self._traced_run(tmp_path, "b")
+        out = capsys.readouterr().out
+        digests = {l for l in out.splitlines() if l.startswith("telemetry digest: ")}
+        assert len(digests) == 1
+        assert (first.with_name("a.trace.jsonl").read_bytes()
+                == second.with_name("b.trace.jsonl").read_bytes())
+
+    def test_trace_without_out_still_prints_digest(self, tmp_path, capsys):
+        assert main(["run", "figure1", "--scale", "small", "--seed", "3", "--trace"]) == 0
+        assert "telemetry digest: " in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_trace_command_accepts_sidecar_or_envelope_path(self, tmp_path, capsys):
+        out_file = self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", str(out_file), "--limit", "3"]) == 0
+        via_envelope = capsys.readouterr().out
+        assert main(["trace", str(out_file.with_name("run1.trace.jsonl")), "--limit", "3"]) == 0
+        assert capsys.readouterr().out == via_envelope
+        assert via_envelope.startswith("trace for 'figure1'")
+        assert "run_begin" in via_envelope
+
+    def test_stats_command_summarizes(self, tmp_path, capsys):
+        out_file = self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["stats", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("telemetry stats for 'figure1'")
+        assert "sim.crashes" in out and "digest sha256:" in out
+
+    def test_trace_command_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["trace", str(tmp_path / "absent.trace.jsonl")])
+
+    def test_trace_command_corrupt_file_exits(self, tmp_path):
+        bad = tmp_path / "bad.trace.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["trace", str(bad)])

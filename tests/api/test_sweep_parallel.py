@@ -196,3 +196,68 @@ class TestFailureAggregation:
         (outcome,) = api.run_points([forged], api.ResultStore(tmp_path), workers=1)
         assert outcome.status == "failed"
         assert "content key mismatch" in outcome.error
+
+
+class TestTracedSweeps:
+    """--trace writes worker-count-invariant sidecars next to the envelopes."""
+
+    SWEEP = ["sweep", "figure1", "--seed", "1..2", "--scale", "small", "--trace"]
+
+    def _sidecars(self, directory):
+        return {path.name: path.read_bytes() for path in directory.glob("*.trace.jsonl")}
+
+    def test_workers_1_and_4_sidecars_byte_identical(self, tmp_path, capsys):
+        sequential, parallel = tmp_path / "w1", tmp_path / "w4"
+        assert main(self.SWEEP + ["--workers", "1", "--out-dir", str(sequential)]) == 0
+        assert main(self.SWEEP + ["--workers", "4", "--out-dir", str(parallel)]) == 0
+        out = capsys.readouterr().out
+        first, second = self._sidecars(sequential), self._sidecars(parallel)
+        assert sorted(first) == sorted(second) and len(first) == 2
+        assert first == second  # full sidecar bytes, not just the digest
+        assert out.count("trace=") == 4  # every ran point reports its digest
+
+    def test_every_envelope_gets_a_sidecar(self, tmp_path, capsys):
+        out_dir = tmp_path / "traced"
+        assert main(self.SWEEP + ["--workers", "1", "--out-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        for envelope in out_dir.glob("*.json"):
+            assert envelope.with_name(envelope.stem + ".trace.jsonl").exists()
+
+    def test_cached_points_keep_their_sidecars(self, tmp_path, capsys):
+        out_dir = tmp_path / "warm"
+        assert main(self.SWEEP + ["--workers", "1", "--out-dir", str(out_dir)]) == 0
+        before = self._sidecars(out_dir)
+        assert main(self.SWEEP + ["--workers", "1", "--out-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0 ran, 2 cached, 0 failed" in out
+        assert self._sidecars(out_dir) == before
+
+    def test_untraced_sweep_writes_no_sidecars(self, tmp_path, capsys):
+        out_dir = tmp_path / "plain"
+        assert main(["sweep", "figure1", "--seed", "1", "--scale", "small",
+                     "--workers", "1", "--out-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert self._sidecars(out_dir) == {}
+
+    def test_collect_reports_sidecar_digests(self, tmp_path, capsys):
+        out_dir = tmp_path / "collected"
+        assert main(self.SWEEP + ["--workers", "1", "--out-dir", str(out_dir)]) == 0
+        summary = collect_results(out_dir)
+        for row in summary["runs"]:
+            assert row["trace"] == row["file"].removesuffix(".json") + ".trace.jsonl"
+            assert len(row["trace_digest"]) == 64
+        assert main(["collect", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert summary["runs"][0]["trace_digest"][:12] in out
+
+    def test_orphaned_sidecar_fails_collection_loudly(self, tmp_path, capsys):
+        out_dir = tmp_path / "orphaned"
+        assert main(self.SWEEP + ["--workers", "1", "--out-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        victim = next(out_dir.glob("*.json"))
+        orphan = victim.with_name(victim.stem + ".trace.jsonl")
+        victim.unlink()  # sidecar now has no envelope
+        with pytest.raises(ValueError, match=orphan.name):
+            collect_results(out_dir)
+        with pytest.raises(SystemExit, match="orphaned trace sidecar"):
+            main(["collect", str(out_dir)])

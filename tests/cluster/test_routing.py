@@ -9,6 +9,7 @@ from repro.cluster.routing import (
     AgingAwareRouting,
     LeastConnectionsRouting,
     RoundRobinRouting,
+    RoutingEpoch,
 )
 
 
@@ -151,6 +152,104 @@ class TestAgingAwareWeightCache:
         nodes[1].predicted_ttf_seconds = 9.0  # mutated without any signal
         counts = Counter(policy.route(nodes).node_id for _ in range(210))
         assert counts[1] == pytest.approx(210 * 0.1 / 2.1, abs=2)
+
+
+class EpochStubNode(VersionedStubNode):
+    """Epoch-wired stub: bumps the fleet-shared RoutingEpoch like real nodes."""
+
+    def __init__(self, node_id, predicted_ttf_seconds, epoch):
+        super().__init__(node_id, predicted_ttf_seconds)
+        self.routing_epoch = epoch
+
+    def set_forecast(self, predicted_ttf_seconds):
+        super().set_forecast(predicted_ttf_seconds)
+        self.routing_epoch.version += 1
+
+
+class TestAgingAwareCycleReplay:
+    """The Brent cycle replay must be invisible in the decision stream.
+
+    Within a regime (stable membership and forecasts) smooth WRR is
+    periodic for dyadic weight vectors; the policy detects the period and
+    replays recorded winners.  Every test here pins that the replay --
+    entering it, leaving it mid-cycle, and giving up on it -- is
+    bit-for-bit equal to the ``cache_weights=False`` reference scan.
+    """
+
+    # Forecasts are dyadic fractions of the 900 s comfort window, so the
+    # health weights (1.0, 0.5, 0.25) make smooth WRR exactly periodic.
+    DYADIC_SCHEDULE = {40: (1, 450.0), 300: (3, 225.0), 301: (1, None), 650: (5, 450.0)}
+
+    def _epoch_fleet(self, width=6):
+        epoch = RoutingEpoch()
+        return [EpochStubNode(i, 900.0, epoch) for i in range(width)], epoch
+
+    def _drive(self, policy, nodes, schedule, steps):
+        decisions = []
+        for step in range(steps):
+            change = schedule.get(step)
+            if change is not None:
+                index, ttf = change
+                nodes[index].set_forecast(ttf)
+            decisions.append(policy.route(nodes).node_id)
+        return decisions
+
+    def test_dyadic_regimes_match_reference_bit_for_bit(self):
+        fast_nodes, _ = self._epoch_fleet()
+        slow_nodes, _ = self._epoch_fleet()
+        fast = self._drive(AgingAwareRouting(), fast_nodes, self.DYADIC_SCHEDULE, 1000)
+        slow = self._drive(
+            AgingAwareRouting(cache_weights=False), slow_nodes, self.DYADIC_SCHEDULE, 1000
+        )
+        assert fast == slow
+
+    def test_dyadic_weights_actually_reach_replay(self):
+        nodes, _ = self._epoch_fleet(width=4)
+        nodes[0].set_forecast(450.0)  # weights (0.5, 1, 1, 1): period 7
+        policy = AgingAwareRouting()
+        for _ in range(50):
+            policy.route(nodes)
+        assert policy._cycle_len == 7
+        assert policy._regime_list is nodes  # the epoch fast path is armed
+
+    def test_regime_exit_mid_replay_reconstructs_credits(self):
+        # A forecast change lands while the policy is replaying a detected
+        # cycle at an arbitrary phase; the regime credits must be written
+        # back exactly for the next regime to stay aligned with reference.
+        schedule = {0: (0, 450.0), 137: (2, 225.0), 138: (0, None), 291: (2, None)}
+        fast_nodes, _ = self._epoch_fleet(width=4)
+        slow_nodes, _ = self._epoch_fleet(width=4)
+        fast = self._drive(AgingAwareRouting(), fast_nodes, schedule, 600)
+        slow = self._drive(AgingAwareRouting(cache_weights=False), slow_nodes, schedule, 600)
+        assert fast == slow
+
+    def test_epoch_bump_outside_the_regime_rebinds_cheaply(self):
+        nodes, _ = self._epoch_fleet(width=7)
+        candidates = nodes[:6]  # node 6 crashed: it is no longer routed to
+        policy = AgingAwareRouting()
+        reference = AgingAwareRouting(cache_weights=False)
+        decisions = [policy.route(candidates).node_id for _ in range(30)]
+        nodes[6].set_forecast(10.0)  # bumps the shared epoch from outside
+        decisions += [policy.route(candidates).node_id for _ in range(30)]
+        expected = [reference.route(candidates).node_id for _ in range(60)]
+        assert decisions == expected
+        assert policy._regime_list is candidates  # rebound, not rebuilt
+
+    def test_record_cap_falls_back_to_plain_scan(self):
+        fast_nodes, _ = self._epoch_fleet(width=5)
+        slow_nodes, _ = self._epoch_fleet(width=5)
+        for fleet in (fast_nodes, slow_nodes):
+            for node, ttf in zip(fleet, (871.0, 533.0, 777.0, 412.0, None)):
+                if ttf is not None:
+                    node.set_forecast(ttf)
+        policy = AgingAwareRouting()
+        policy.RECORD_CAP = 8  # force the give-up branch on these messy weights
+        fast = [policy.route(fast_nodes).node_id for _ in range(500)]
+        reference = AgingAwareRouting(cache_weights=False)
+        slow = [reference.route(slow_nodes).node_id for _ in range(500)]
+        assert fast == slow
+        assert policy._cycle_len is None
+        assert policy._snap_credits is None  # recording abandoned, plain scan kept
 
 
 class TestLoadBalancerAllocations:

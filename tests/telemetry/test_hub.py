@@ -1,0 +1,94 @@
+"""Unit coverage of the telemetry hub primitives.
+
+The hub is the only mutable state the instrumentation layer shares, so its
+contracts are pinned in isolation: channel bookkeeping, the fixed
+power-of-two histogram layout, the event cap, and the ambient
+activate/active lifecycle the engines rely on.
+"""
+
+import pytest
+
+from repro.telemetry import ENGINE, PROFILE, SIM, Histogram, Telemetry, activate, active
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        histogram = Histogram()
+        for value in (0, 1, 2, 3, 4, 5, 8, 9, 1000):
+            histogram.observe(value)
+        payload = histogram.as_dict()
+        assert payload["count"] == 9
+        assert payload["total"] == 0 + 1 + 2 + 3 + 4 + 5 + 8 + 9 + 1000
+        # 0 -> bucket 0; 1 -> 1; 2 -> 2; 3,4 -> 4; 5,8 -> 8; 9 -> 16; 1000 -> 1024
+        assert payload["buckets"] == [[0, 1], [1, 1], [2, 1], [4, 2], [8, 2], [16, 1], [1024, 1]]
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Histogram().observe(-1)
+
+
+class TestTelemetry:
+    def test_counters_accumulate_per_channel(self):
+        telemetry = Telemetry()
+        telemetry.count("ticks")
+        telemetry.count("ticks", 4)
+        telemetry.count("ticks", 2, channel=ENGINE)
+        assert telemetry.counters[(SIM, "ticks")] == 5
+        assert telemetry.counters[(ENGINE, "ticks")] == 2
+
+    def test_gauges_overwrite(self):
+        telemetry = Telemetry()
+        telemetry.gauge("availability", 0.5)
+        telemetry.gauge("availability", 0.9)
+        assert telemetry.gauges[(SIM, "availability")] == 0.9
+
+    def test_profile_lands_on_the_profile_channel(self):
+        telemetry = Telemetry()
+        telemetry.profile("sweep.point", 1.25)
+        telemetry.profile("sweep.point", 0.75)
+        assert telemetry.counters[(PROFILE, "sweep.point.calls")] == 2
+        assert telemetry.counters[(PROFILE, "sweep.point.seconds")] == 2.0
+
+    def test_event_cap_counts_drops(self):
+        telemetry = Telemetry(max_events=2)
+        for tick in range(5):
+            telemetry.event("mark", tick)
+        assert len(telemetry.events) == 2
+        assert telemetry.dropped_events == 3
+        assert telemetry.snapshot()["dropped_events"] == 3
+
+    def test_snapshot_is_plain_data(self):
+        telemetry = Telemetry()
+        telemetry.event("crash", 7, run="n1i0", data={"resource": "memory"})
+        telemetry.count("crashes")
+        telemetry.observe("gap", 3, channel=ENGINE)
+        snapshot = telemetry.snapshot()
+        assert snapshot["events"] == [
+            {"channel": SIM, "kind": "crash", "tick": 7, "run": "n1i0", "data": {"resource": "memory"}}
+        ]
+        assert snapshot["counters"] == {"sim.crashes": 1}
+        assert snapshot["histograms"]["engine.gap"]["count"] == 1
+
+
+class TestActivation:
+    def test_active_defaults_to_none(self):
+        assert active() is None
+
+    def test_activate_installs_and_restores(self):
+        telemetry = Telemetry()
+        with activate(telemetry):
+            assert active() is telemetry
+        assert active() is None
+
+    def test_activation_nests(self):
+        outer, inner = Telemetry(), Telemetry()
+        with activate(outer):
+            with activate(inner):
+                assert active() is inner
+            assert active() is outer
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with activate(Telemetry()):
+                raise RuntimeError("boom")
+        assert active() is None

@@ -1,0 +1,135 @@
+"""The canonical trace serialization and the sidecar file discipline.
+
+These pin the byte-level contract: record order, channel filtering (engine
+in the sidecar but out of the digest, profile nowhere), the digest
+construction, the sidecar naming scheme next to result envelopes, and the
+fail-soft parsing helpers ``repro collect`` builds on.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    ENGINE,
+    PROFILE,
+    SIDECAR_SUFFIX,
+    Telemetry,
+    envelope_path_for,
+    read_sidecar,
+    sidecar_digest,
+    sidecar_path_for,
+    trace_digest,
+    trace_lines,
+    trace_text,
+    write_sidecar,
+)
+from repro.telemetry.sinks import trace_records
+
+
+def populated_hub() -> Telemetry:
+    telemetry = Telemetry()
+    telemetry.meta = {"experiment": "demo", "params": {"seed": 3}}
+    telemetry.event("run_begin", 0, run="testbed", data={"seed": 3})
+    telemetry.event("wake", 5, run="testbed", channel=ENGINE)
+    telemetry.count("crashes")
+    telemetry.count("event_ticks", 10, channel=ENGINE)
+    telemetry.gauge("availability", 0.75)
+    telemetry.observe("gap", 4, channel=ENGINE)
+    telemetry.profile("run", 1.5)
+    return telemetry
+
+
+class TestCanonicalForm:
+    def test_record_order_is_meta_events_aggregates(self):
+        kinds = [record["type"] for record in trace_records(populated_hub())]
+        assert kinds == ["meta", "event", "event", "counter", "counter", "gauge", "histogram"]
+
+    def test_lines_are_canonical_json(self):
+        for line in trace_lines(populated_hub()):
+            record = json.loads(line)
+            assert line == json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    def test_profile_channel_never_serializes(self):
+        assert PROFILE not in trace_text(populated_hub())
+
+    def test_engine_lines_in_sidecar_but_not_digest(self):
+        with_engine = populated_hub()
+        without_engine = populated_hub()
+        without_engine.events = [e for e in without_engine.events if e.channel != ENGINE]
+        without_engine.counters = {
+            key: value for key, value in without_engine.counters.items() if key[0] != ENGINE
+        }
+        without_engine.histograms = {}
+        assert trace_text(with_engine) != trace_text(without_engine)
+        assert trace_digest(with_engine) == trace_digest(without_engine)
+
+    def test_events_sort_by_tick_then_run_label(self):
+        telemetry = Telemetry()
+        telemetry.event("b", 5, run="n2")
+        telemetry.event("a", 5, run="n1")
+        telemetry.event("c", 1, run="n9")
+        order = [
+            (record["tick"], record["run"])
+            for record in trace_records(telemetry)
+            if record["type"] == "event"
+        ]
+        assert order == [(1, "n9"), (5, "n1"), (5, "n2")]
+
+    def test_digest_line_matches_reported_digest(self):
+        telemetry = populated_hub()
+        last = json.loads(trace_lines(telemetry)[-1])
+        assert last == {
+            "type": "digest",
+            "channel": "sim",
+            "algo": "sha256",
+            "value": trace_digest(telemetry),
+        }
+        assert telemetry.digest() == trace_digest(telemetry)
+
+    def test_identical_recordings_serialize_identically(self):
+        assert trace_text(populated_hub()) == trace_text(populated_hub())
+
+
+class TestSidecarFiles:
+    def test_path_mapping_roundtrip(self, tmp_path):
+        envelope = tmp_path / "exp41-abcd.json"
+        sidecar = sidecar_path_for(envelope)
+        assert sidecar.name == "exp41-abcd" + SIDECAR_SUFFIX
+        assert envelope_path_for(sidecar) == envelope
+
+    def test_envelope_path_rejects_non_sidecars(self, tmp_path):
+        with pytest.raises(ValueError, match="not a trace sidecar"):
+            envelope_path_for(tmp_path / "exp41.json")
+
+    def test_write_read_roundtrip(self, tmp_path):
+        telemetry = populated_hub()
+        path = tmp_path / "run" / ("demo" + SIDECAR_SUFFIX)
+        digest = write_sidecar(telemetry, path)
+        assert path.read_text() == trace_text(telemetry)
+        assert digest == trace_digest(telemetry)
+        records = read_sidecar(path)
+        assert records[0]["type"] == "meta"
+        assert records[-1]["value"] == digest
+        assert sidecar_digest(path) == digest
+
+    def test_write_leaves_no_scratch_files(self, tmp_path):
+        write_sidecar(populated_hub(), tmp_path / ("demo" + SIDECAR_SUFFIX))
+        assert [p.name for p in tmp_path.iterdir()] == ["demo" + SIDECAR_SUFFIX]
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / ("bad" + SIDECAR_SUFFIX)
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_sidecar(path)
+        path.write_text('["no", "type"]\n')
+        with pytest.raises(ValueError, match="not a trace record"):
+            read_sidecar(path)
+
+    def test_sidecar_digest_is_none_on_corruption(self, tmp_path):
+        path = tmp_path / ("bad" + SIDECAR_SUFFIX)
+        assert sidecar_digest(path) is None  # absent
+        path.write_text("garbage\n")
+        assert sidecar_digest(path) is None  # unparseable
+        path.write_text('{"type": "meta", "channel": "sim"}\n')
+        assert sidecar_digest(path) is None  # no digest record

@@ -1,0 +1,56 @@
+"""The human renderers behind ``repro trace`` and ``repro stats``."""
+
+from repro.telemetry import ENGINE, Telemetry, render_stats, render_trace
+from repro.telemetry.sinks import trace_records
+
+
+def records_for(telemetry: Telemetry) -> list[dict]:
+    records = list(trace_records(telemetry))
+    records.append({"type": "digest", "channel": "sim", "algo": "sha256", "value": "ab" * 32})
+    return records
+
+
+def demo_hub() -> Telemetry:
+    telemetry = Telemetry()
+    telemetry.meta = {"experiment": "exp41", "params": {"seed": 7}}
+    telemetry.event("run_begin", 0, run="testbed", data={"seed": 7, "ebs": 25})
+    telemetry.event("crash", 140, run="testbed", data={"resource": "memory", "time": 140.5})
+    telemetry.count("crashes")
+    telemetry.gauge("availability", 0.875)
+    telemetry.observe("gap", 3, channel=ENGINE)
+    return telemetry
+
+
+class TestRenderTrace:
+    def test_shows_header_events_and_digest(self):
+        text = render_trace(records_for(demo_hub()))
+        assert text.startswith("trace for 'exp41'")
+        assert "run_begin" in text
+        assert "resource=memory" in text
+        assert "tick=     140" in text
+        assert text.splitlines()[-1] == "digest sha256:" + "ab" * 32
+
+    def test_limit_elides_events(self):
+        text = render_trace(records_for(demo_hub()), limit=1)
+        assert "run_begin" in text
+        assert "crash" not in text
+        assert "1 more event(s)" in text
+
+    def test_limit_at_or_above_count_shows_all(self):
+        assert "more event(s)" not in render_trace(records_for(demo_hub()), limit=2)
+
+
+class TestRenderStats:
+    def test_sections_and_alignment(self):
+        text = render_stats(records_for(demo_hub()))
+        lines = text.splitlines()
+        assert lines[0] == "telemetry stats for 'exp41'"
+        assert "counters:" in text and "gauges:" in text and "histograms:" in text
+        assert "sim.crashes" in text
+        assert "sim.availability" in text and "0.875" in text
+        assert "engine.gap  count=1 mean=3" in text
+
+    def test_empty_hub_renders_header_only(self):
+        text = render_stats(records_for(Telemetry()))
+        assert text.splitlines()[0] == "telemetry stats for '?'"
+        assert "counters:" not in text and "histograms:" not in text
