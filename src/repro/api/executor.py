@@ -3,7 +3,7 @@
 Registered runs are pure seeded functions, so a grid of them is
 embarrassingly parallel: :func:`run_points` dispatches every cache-missing
 :class:`~repro.api.sweep.RunPoint` to a ``ProcessPoolExecutor`` worker
-(``workers`` defaults to ``os.cpu_count()``; ``workers=1`` keeps today's
+(``workers`` defaults to the process's CPU affinity count; ``workers=1`` keeps today's
 in-process sequential path bit for bit), writes each envelope through the
 :class:`~repro.api.store.ResultStore` **as it completes**, and returns one
 :class:`PointOutcome` per point **in point order** — so reports, summaries
@@ -47,7 +47,22 @@ from repro.api.store import ResultStore
 from repro.api.sweep import RunPoint
 from repro.telemetry import PROFILE, Telemetry, sidecar_path_for, trace_text, write_sidecar_text
 
-__all__ = ["PointOutcome", "execute_point", "run_points"]
+__all__ = ["PointOutcome", "default_worker_count", "execute_point", "run_points"]
+
+
+def default_worker_count() -> int:
+    """Worker processes to use when the caller does not pin a count.
+
+    ``os.sched_getaffinity(0)`` reports the CPUs this process may actually
+    run on -- the honest number inside containers and cgroup-limited CI
+    runners, where ``os.cpu_count()`` reports the whole machine and
+    oversubscribes the pool.  Falls back to ``os.cpu_count()`` on platforms
+    without affinity support (macOS, Windows).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 #: Outcome statuses, in report vocabulary.
 _RAN, _CACHED, _FAILED = "ran", "cached", "failed"
@@ -183,7 +198,7 @@ def run_points(
     forkserver start method they fail with "unknown experiment"; run such
     points with ``workers=1``.
     """
-    workers = (os.cpu_count() or 1) if workers is None else workers
+    workers = default_worker_count() if workers is None else workers
     if workers < 1:
         raise ValueError("workers must be at least 1")
     started = time.perf_counter()

@@ -45,7 +45,9 @@ from repro.experiments.exp42 import run_experiment_42
 from repro.experiments.exp43 import run_experiment_43
 from repro.experiments.exp44 import run_experiment_44
 from repro.experiments.figures import figure1_series, figure2_series
+from repro.experiments.lifecycle import run_lifecycle_experiment
 from repro.experiments.scenarios import CLUSTER_SCENARIO_KINDS, ClusterScenario, ExperimentScenarios
+from repro.lifecycle import LifecycleConfig
 from repro.telemetry import Telemetry, activate
 
 __all__ = ["REGISTRY", "register", "get_spec", "list_experiments", "match_experiments", "run"]
@@ -322,12 +324,67 @@ def _run_ablation_margin(scale: str, seed: int, engine: str) -> Payload:
 
 
 # --------------------------------------------------------------------------
+# adapter: the adaptive lifecycle
+# --------------------------------------------------------------------------
+
+
+def _run_lifecycle(
+    scale: str,
+    seed: int,
+    engine: str,
+    model: str,
+    challenger_model: str,
+    drift_threshold_seconds: float,
+    drift_persistence: int,
+    training_window: int,
+    gate_margin: float,
+) -> Payload:
+    config = replace(
+        LifecycleConfig(),
+        challenger_model=challenger_model,
+        drift_threshold_seconds=drift_threshold_seconds,
+        drift_persistence=drift_persistence,
+        training_window=training_window,
+        gate_margin=gate_margin,
+    )
+    result = run_lifecycle_experiment(
+        _scenarios(scale, seed), engine=engine, config=config, model=model
+    )
+    metrics: dict[str, Any] = {
+        "morph_time_seconds": result.morph_time_seconds,
+        "crash_time_seconds": result.trace.crash_time_seconds,
+        "crash_resource": result.trace.crash_resource,
+        "static.mae_seconds": result.static_mae,
+        "managed.mae_seconds": result.managed_mae,
+        "static.post_morph_mae_seconds": result.static_post_morph_mae,
+        "managed.post_morph_mae_seconds": result.managed_post_morph_mae,
+        "post_morph_improvement_seconds": result.post_morph_improvement,
+        "lifecycle_wins": bool(result.lifecycle_wins()),
+        "generations": result.generations,
+        "num_drifts": len(result.drift_times),
+        "num_promotions": len(result.promotion_times),
+        "num_rejections": len(result.rejection_times),
+    }
+    series = {
+        "time_seconds": list(result.trace.times()),
+        "true_ttf_seconds": list(result.trace.time_to_failure()),
+        "static_predicted_ttf_seconds": list(result.static_predictions),
+        "managed_predicted_ttf_seconds": list(result.managed_predictions),
+        "drift_times_seconds": list(result.drift_times),
+        "promotion_times_seconds": list(result.promotion_times),
+        "rejection_times_seconds": list(result.rejection_times),
+    }
+    return metrics, series
+
+
+# --------------------------------------------------------------------------
 # adapter: the cluster comparison
 # --------------------------------------------------------------------------
 
 
-def _run_cluster(scale: str, seed: int, engine: str, kind: str) -> Payload:
-    result = run_cluster_experiment(_cluster_scenario(scale, seed, kind), engine=engine)
+def _run_cluster(scale: str, seed: int, engine: str, kind: str, lifecycle: bool) -> Payload:
+    scenario = replace(_cluster_scenario(scale, seed, kind), lifecycle=lifecycle)
+    result = run_cluster_experiment(scenario, engine=engine)
     metrics: dict[str, Any] = {
         "time_based_interval_seconds": result.time_based_interval_seconds,
         "training_instances": result.training_instances,
@@ -469,6 +526,53 @@ _spec(
     _run_ablation_margin,
 )
 _spec(
+    "lifecycle",
+    "Adaptive lifecycle: drift detection and champion/challenger retraining on a morphing fault",
+    "ablation",
+    "repro.experiments.lifecycle.run_lifecycle_experiment",
+    _run_lifecycle,
+    extra=(
+        ParamSpec(
+            name="model",
+            type="str",
+            default="m5p",
+            description="learner of the statically deployed champion",
+            choices=("m5p", "linear", "tree"),
+        ),
+        ParamSpec(
+            name="challenger_model",
+            type="str",
+            default="tree",
+            description="learner retrained on live windows during drift episodes",
+            choices=("m5p", "linear", "tree"),
+        ),
+        ParamSpec(
+            name="drift_threshold_seconds",
+            type="float",
+            default=2000.0,
+            description="Page-Hinkley alarm threshold (accumulated seconds of residual)",
+        ),
+        ParamSpec(
+            name="drift_persistence",
+            type="int",
+            default=2,
+            description="consecutive over-threshold marks required to confirm drift",
+        ),
+        ParamSpec(
+            name="training_window",
+            type="int",
+            default=48,
+            description="live-window size (marks) challengers are trained on",
+        ),
+        ParamSpec(
+            name="gate_margin",
+            type="float",
+            default=0.9,
+            description="promotion gate: challenger MAE must beat margin * champion MAE",
+        ),
+    ),
+)
+_spec(
     "cluster",
     "Fleet extension: rolling predictive rejuvenation versus both baselines",
     "cluster",
@@ -481,6 +585,15 @@ _spec(
             default="memory",
             description="fleet aging scenario",
             choices=CLUSTER_SCENARIO_KINDS,
+        ),
+        ParamSpec(
+            name="lifecycle",
+            type="bool",
+            default=False,
+            description=(
+                "manage the predictive policy's per-node monitors with the adaptive "
+                "lifecycle (drift detection plus champion/challenger retraining)"
+            ),
         ),
     ),
     seed=7,

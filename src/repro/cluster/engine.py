@@ -51,7 +51,7 @@ from typing import Sequence
 
 from repro.cluster.balancer import LoadBalancer
 from repro.cluster.coordinator import ClusterRejuvenationCoordinator, NoClusterRejuvenation
-from repro.cluster.node import ClusterNode, InjectorFactory
+from repro.cluster.node import ClusterNode, InjectorFactory, MonitorFactory
 from repro.cluster.routing import RoutingEpoch, RoutingPolicy
 from repro.cluster.status import ClusterOutcome, FleetStatus
 from repro.core.predictor import AgingPredictor
@@ -102,6 +102,11 @@ class ClusterEngine:
     predictor:
         Optional fitted :class:`AgingPredictor`; required for aging-aware
         routing and predictive coordination to see per-node forecasts.
+    monitor_factory:
+        Optional per-node :data:`~repro.cluster.node.MonitorFactory`
+        building lifecycle-managed monitors (drift detection plus
+        champion/challenger retraining) instead of the plain per-incarnation
+        monitor; mutually exclusive with ``predictor``.
     alarm_threshold_seconds / alarm_consecutive:
         Per-node on-line monitor configuration.
     drain_seconds:
@@ -126,6 +131,7 @@ class ClusterEngine:
         routing_policy: RoutingPolicy | None = None,
         coordinator: ClusterRejuvenationCoordinator | None = None,
         predictor: AgingPredictor | None = None,
+        monitor_factory: MonitorFactory | None = None,
         alarm_threshold_seconds: float = 600.0,
         alarm_consecutive: int = 2,
         drain_seconds: float = 30.0,
@@ -177,6 +183,7 @@ class ClusterEngine:
                 injector_factory=factory,
                 seed=seed + _NODE_SEED_STRIDE * (node_id + 1),
                 predictor=predictor,
+                monitor_factory=monitor_factory,
                 alarm_threshold_seconds=alarm_threshold_seconds,
                 alarm_consecutive=alarm_consecutive,
                 drain_seconds=drain_seconds,

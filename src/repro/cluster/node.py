@@ -45,6 +45,7 @@ from typing import Callable, Iterable
 
 from repro.core.online import OnlineAgingMonitor, OnlinePrediction
 from repro.core.predictor import AgingPredictor
+from repro.lifecycle.manager import ManagedOnlineMonitor
 from repro.testbed.config import TestbedConfig
 from repro.testbed.engine import TestbedSimulation
 from repro.testbed.errors import ServerCrash
@@ -57,10 +58,17 @@ from repro.testbed.tpcw.interactions import Interaction
 from repro.cluster.routing import RoutingEpoch
 from repro.telemetry import runtime as telemetry_runtime
 
-__all__ = ["ClusterNode", "NodeState", "InjectorFactory"]
+__all__ = ["ClusterNode", "NodeState", "InjectorFactory", "MonitorFactory"]
 
 #: Builds the fault injectors of one incarnation from its derived seed.
 InjectorFactory = Callable[[int], Iterable[FaultInjector]]
+
+#: Builds a node's lifecycle-managed monitor from its node id.  Unlike the
+#: per-incarnation ``OnlineAgingMonitor`` the managed monitor is created once
+#: per node and *persists across incarnations*: restarts call its ``reset()``
+#: (fresh stream state) while the champion it promoted stays deployed --
+#: knowledge won against one incarnation's drift survives the rejuvenation.
+MonitorFactory = Callable[[int], ManagedOnlineMonitor]
 
 #: Seed stride between incarnations of the same node.
 _INCARNATION_SEED_STRIDE = 7919
@@ -92,6 +100,13 @@ class ClusterNode:
     predictor:
         Optional fitted aging predictor; when present every incarnation
         streams its samples through an :class:`OnlineAgingMonitor`.
+    monitor_factory:
+        Optional :data:`MonitorFactory` building a lifecycle-managed monitor
+        (``repro.lifecycle.ManagedOnlineMonitor``) from the node id.  Called
+        once; the monitor persists across incarnations (``reset()`` per
+        restart, promoted champions survive) and crashed incarnations are
+        fed back via ``note_outcome``.  Mutually exclusive with
+        ``predictor``.
     alarm_threshold_seconds / alarm_consecutive:
         Alarm configuration of the per-incarnation monitor.
     drain_seconds:
@@ -107,6 +122,7 @@ class ClusterNode:
         injector_factory: InjectorFactory,
         seed: int = 0,
         predictor: AgingPredictor | None = None,
+        monitor_factory: MonitorFactory | None = None,
         alarm_threshold_seconds: float = 600.0,
         alarm_consecutive: int = 2,
         drain_seconds: float = 30.0,
@@ -121,6 +137,8 @@ class ClusterNode:
             raise ValueError("downtimes must be positive")
         if predictor is not None and not predictor.is_fitted:
             raise ValueError("the predictor must be fitted before it can monitor a node")
+        if predictor is not None and monitor_factory is not None:
+            raise ValueError("pass either a predictor or a monitor_factory, not both")
         self.node_id = node_id
         self.config = config
         self.injector_factory = injector_factory
@@ -136,7 +154,7 @@ class ClusterNode:
         self.incarnations: list[Trace] = []
         self.state = NodeState.ACTIVE
         self.simulation: TestbedSimulation | None = None
-        self.monitor: OnlineAgingMonitor | None = None
+        self.monitor: OnlineAgingMonitor | ManagedOnlineMonitor | None = None
         self.latest_prediction: OnlinePrediction | None = None
         #: Monotonic counter bumped whenever the TTF forecast can have
         #: changed (new monitoring mark, crash, drain restart, fresh
@@ -151,6 +169,14 @@ class ClusterNode:
         self._fleet_clock = fleet_clock
         self.telemetry = telemetry_runtime.active()
         self._telemetry_run = f"n{node_id}"
+        #: Lifecycle-managed monitor shared by every incarnation (see
+        #: :data:`MonitorFactory`); ``None`` for plain per-incarnation
+        #: monitoring.
+        self.managed_monitor: ManagedOnlineMonitor | None = None
+        if monitor_factory is not None:
+            self.managed_monitor = monitor_factory(node_id)
+            if self._fleet_clock is not None:
+                self.managed_monitor.bind_clock(self._fleet_clock)
         self._incarnation_index = 0
         self._drain_remaining = 0.0
         self._downtime_remaining = 0.0
@@ -255,7 +281,14 @@ class ClusterNode:
         trace.metadata["incarnation"] = self._incarnation_index - 1
         self.incarnations.append(trace)
         self.monitor = None
-        if self.predictor is not None:
+        if self.managed_monitor is not None:
+            # The managed monitor outlives the incarnation: reset clears the
+            # stream state (features, drift evidence, alarm) but the current
+            # champion -- including any promotions won before the restart --
+            # stays deployed.
+            self.managed_monitor.reset()
+            self.monitor = self.managed_monitor
+        elif self.predictor is not None:
             self.monitor = OnlineAgingMonitor(
                 self.predictor,
                 alarm_threshold_seconds=self.alarm_threshold_seconds,
@@ -334,6 +367,10 @@ class ClusterNode:
     def _enter_restart(self, planned: bool) -> None:
         if self.telemetry is not None and self.simulation is not None:
             self.simulation._telemetry_finish()
+        if self.managed_monitor is not None and self.incarnations:
+            # The finished incarnation is this monitor's outcome: a crashed
+            # trace carries the true labels future challengers train on.
+            self.managed_monitor.note_outcome(self.incarnations[-1])
         self.state = NodeState.RESTARTING
         self._downtime_planned = planned
         if planned:

@@ -17,17 +17,19 @@ the variables related with the Java Heap evolution" -- is a one-liner.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.testbed.monitoring.collector import Trace
+from repro.testbed.monitoring.collector import MonitoringSample, Trace
 
 __all__ = [
     "DEFAULT_WINDOW",
     "FeatureCatalog",
     "FeatureSpec",
+    "FeatureStream",
     "sliding_window_average",
     "consumption_speed",
     "safe_inverse",
@@ -99,6 +101,13 @@ def safe_inverse(values: Sequence[float]) -> np.ndarray:
     series = np.asarray(values, dtype=float)
     clipped = np.where(np.abs(series) < _EPSILON, np.sign(series) * _EPSILON + (series == 0) * _EPSILON, series)
     return 1.0 / clipped
+
+
+def _safe_inverse_scalar(value: float) -> float:
+    """Scalar twin of :func:`safe_inverse` (bit-identical per element)."""
+    if abs(value) < _EPSILON:
+        value = _EPSILON if value >= 0 else -_EPSILON
+    return 1.0 / value
 
 
 @dataclass(frozen=True)
@@ -286,3 +295,104 @@ class FeatureCatalog:
         if not np.all(np.isfinite(matrix)):
             raise ValueError("feature computation produced non-finite values")
         return matrix, self.feature_names
+
+    def stream(self) -> "FeatureStream":
+        """Open an incremental computer of this catalogue's feature rows."""
+        return FeatureStream(self)
+
+
+class FeatureStream:
+    """Incremental, O(window) computation of the newest feature row.
+
+    :meth:`FeatureCatalog.compute` is a batch transform: every call rebuilds
+    the whole matrix from the whole trace, which turns a streaming consumer
+    (one prediction per monitoring mark) into an O(n^2) loop.  ``FeatureStream``
+    maintains just enough state -- running cumulative sums of each smoothed
+    series plus a ``window + 1`` deque of their historical values -- to emit,
+    per pushed sample, a row that is **bit-for-bit identical** to the last row
+    ``compute()`` would produce on the full history.
+
+    Bit-exactness is load-bearing (tree models route on ulp-level splits), so
+    every operation mirrors the batch path operation-for-operation:
+    ``np.cumsum`` accumulates sequentially in float64, and so do the running
+    sums here; window totals subtract the same cumulative values the batch
+    loop reads; the scalar inverse replicates :func:`safe_inverse` branch by
+    branch.
+    """
+
+    def __init__(self, catalog: FeatureCatalog) -> None:
+        self.catalog = catalog
+        window = catalog.window
+        self._index = -1
+        self._last_time = 0.0
+        self._prev_values: dict[str, float] = {}
+        # Sliding-window-average state per smoothed series: the running
+        # cumulative sum (float64, sequential adds like np.cumsum) and the
+        # last window+1 cumulative values (cum[i-window] is the subtrahend).
+        self._speed_cum: dict[str, float] = {attr: 0.0 for attr in _SPEED_RESOURCES}
+        self._speed_hist: dict[str, deque[float]] = {
+            attr: deque(maxlen=window + 1) for attr in _SPEED_RESOURCES
+        }
+        self._swa_cum: dict[str, float] = {attr: 0.0 for attr in _SWA_RAW_RESOURCES}
+        self._swa_hist: dict[str, deque[float]] = {
+            attr: deque(maxlen=window + 1) for attr in _SWA_RAW_RESOURCES
+        }
+
+    @property
+    def num_pushed(self) -> int:
+        return self._index + 1
+
+    def _swa_push(self, cum: float, hist: deque[float], window: int) -> float:
+        """One sliding_window_average step; returns the average at this index."""
+        hist.append(cum)
+        index = self._index
+        if index >= window:
+            # start > 0: subtract cum[index - window], denominator is `window`.
+            return (cum - hist[0]) / window
+        return cum / (index + 1)
+
+    def push(self, sample: MonitoringSample) -> np.ndarray:
+        """Ingest one monitoring sample; return the catalogue row at its mark."""
+        time_seconds = float(sample.time_seconds)
+        if self._index >= 0 and time_seconds <= self._last_time:
+            raise ValueError("times must be strictly increasing")
+        self._index += 1
+        window = self.catalog.window
+        raw = {attribute: float(getattr(sample, attribute)) for attribute in _RAW_TAGS}
+
+        row: list[float] = []
+        if self.catalog.include_raw:
+            for attribute in _RAW_TAGS:
+                row.append(raw[attribute])
+        if self.catalog.include_derived:
+            throughput = max(raw["throughput_rps"], _EPSILON)
+            for attribute in _SPEED_RESOURCES:
+                value = raw[attribute]
+                if self._index == 0:
+                    instantaneous = 0.0
+                else:
+                    instantaneous = (value - self._prev_values[attribute]) / (
+                        time_seconds - self._last_time
+                    )
+                cum = self._speed_cum[attribute] + instantaneous
+                self._speed_cum[attribute] = cum
+                speed = self._swa_push(cum, self._speed_hist[attribute], window)
+                inverse = _safe_inverse_scalar(speed)
+                row.append(speed)
+                row.append(inverse)
+                row.append(speed / throughput)
+                row.append(inverse / throughput)
+                row.append(value * inverse)
+                row.append(value * inverse / throughput)
+            for attribute in _SWA_RAW_RESOURCES:
+                cum = self._swa_cum[attribute] + raw[attribute]
+                self._swa_cum[attribute] = cum
+                row.append(self._swa_push(cum, self._swa_hist[attribute], window))
+
+        for attribute in _SPEED_RESOURCES:
+            self._prev_values[attribute] = raw[attribute]
+        self._last_time = time_seconds
+        result = np.array(row, dtype=float)
+        if not np.all(np.isfinite(result)):
+            raise ValueError("feature computation produced non-finite values")
+        return result

@@ -15,6 +15,7 @@ uses exactly this loop to drive a clean automatic recovery of the server.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -71,7 +72,12 @@ class OnlineAgingMonitor:
         self.predictor = predictor
         self.alarm_threshold_seconds = float(alarm_threshold_seconds)
         self.alarm_consecutive = alarm_consecutive
-        self._samples: list[MonitoringSample] = []
+        # Only the feature window's worth of history is retained: predictions
+        # are computed incrementally (see observe), so the monitor's memory
+        # and per-mark cost stay O(window) however long the stream runs.
+        self._recent: deque[MonitoringSample] = deque(maxlen=predictor.window + 1)
+        self._stream = predictor.feature_stream()
+        self._num_observed = 0
         self._below_threshold_streak = 0
         self._alarm_raised = False
         self.predictions: list[OnlinePrediction] = []
@@ -80,7 +86,12 @@ class OnlineAgingMonitor:
 
     @property
     def num_samples(self) -> int:
-        return len(self._samples)
+        return self._num_observed
+
+    @property
+    def recent_samples(self) -> list[MonitoringSample]:
+        """The retained tail of the stream (up to ``window + 1`` marks)."""
+        return list(self._recent)
 
     @property
     def alarm_raised(self) -> bool:
@@ -97,7 +108,9 @@ class OnlineAgingMonitor:
 
     def reset(self) -> None:
         """Forget all streamed samples and predictions (e.g. after rejuvenation)."""
-        self._samples.clear()
+        self._recent.clear()
+        self._stream = self.predictor.feature_stream()
+        self._num_observed = 0
         self.predictions.clear()
         self._below_threshold_streak = 0
         self._alarm_raised = False
@@ -107,15 +120,16 @@ class OnlineAgingMonitor:
     def observe(self, sample: MonitoringSample) -> OnlinePrediction:
         """Ingest one monitoring mark and return the updated prediction.
 
-        The monitor rebuilds the derived variables from the history received
-        so far (sliding windows need past marks), so its prediction at time t
-        uses no future information.
+        The derived variables are maintained incrementally (sliding windows
+        need only the recent past), so the prediction at time t uses no
+        future information and costs O(window) -- while staying bit-for-bit
+        identical to re-predicting the full history at every mark.
         """
-        if self._samples and sample.time_seconds <= self._samples[-1].time_seconds:
+        if self._recent and sample.time_seconds <= self._recent[-1].time_seconds:
             raise ValueError("monitoring samples must arrive in strictly increasing time order")
-        self._samples.append(sample)
-        partial_trace = Trace(samples=list(self._samples), workload_ebs=sample.workload_ebs)
-        predicted = float(self.predictor.predict_trace(partial_trace)[-1])
+        self._recent.append(sample)
+        self._num_observed += 1
+        predicted = self.predictor.predict_row(self._stream.push(sample))
 
         if predicted <= self.alarm_threshold_seconds:
             self._below_threshold_streak += 1

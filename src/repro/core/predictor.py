@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.dataset import INFINITE_TTF_SECONDS, AgingDataset, build_dataset
 from repro.core.evaluation import PredictionEvaluation, evaluate_predictions
-from repro.core.features import DEFAULT_WINDOW, FeatureCatalog
+from repro.core.features import DEFAULT_WINDOW, FeatureCatalog, FeatureStream
 from repro.ml.linear_regression import LinearRegressionModel
 from repro.ml.m5p import M5PModelTree
 from repro.ml.regression_tree import RegressionTree
@@ -47,6 +47,13 @@ class AgingPredictor:
     min_instances:
         Minimum training instances per leaf for the tree-based learners (the
         paper uses 10).
+    min_std_fraction:
+        Purity floor of the tree growers: a node stops splitting once its
+        target standard deviation falls below this fraction of the root's
+        (0.05 in M5').  Lifecycle challengers lower it, because live windows
+        mix "infinite horizon" labels with near-crash countdowns and the
+        inflated root deviation would otherwise leave the countdown region
+        unsplit.
     feature_names:
         Optional subset of Table 2 variables to train on; this is how the
         expert feature selection of Experiment 4.3 is expressed.
@@ -63,6 +70,7 @@ class AgingPredictor:
         model: ModelName = "m5p",
         window: int = DEFAULT_WINDOW,
         min_instances: int = 10,
+        min_std_fraction: float = 0.05,
         feature_names: Sequence[str] | None = None,
         infinite_ttf: float = INFINITE_TTF_SECONDS,
         clip_predictions: bool = True,
@@ -71,11 +79,14 @@ class AgingPredictor:
             raise ValueError(f"unknown model {model!r}; expected 'm5p', 'linear' or 'tree'")
         if min_instances < 1:
             raise ValueError("min_instances must be at least 1")
+        if not 0.0 <= min_std_fraction < 1.0:
+            raise ValueError("min_std_fraction must be in [0, 1)")
         if infinite_ttf <= 0:
             raise ValueError("infinite_ttf must be positive")
         self.model_name: ModelName = model
         self.window = window
         self.min_instances = min_instances
+        self.min_std_fraction = min_std_fraction
         self.requested_features = list(feature_names) if feature_names is not None else None
         self.infinite_ttf = float(infinite_ttf)
         self.clip_predictions = clip_predictions
@@ -84,6 +95,7 @@ class AgingPredictor:
         self._model: M5PModelTree | LinearRegressionModel | RegressionTree | None = None
         self._training_dataset: AgingDataset | None = None
         self._selected_names: list[str] = []
+        self._selected_indices: list[int] | None = None
 
     # ------------------------------------------------------------------- fit
 
@@ -100,14 +112,23 @@ class AgingPredictor:
         self._model = self._build_model(self._selected_names)
         self._model.fit(dataset.features, dataset.targets)
         self._training_dataset = dataset
+        self._selected_indices = None
         return self
 
     def _build_model(self, names: list[str]) -> M5PModelTree | LinearRegressionModel | RegressionTree:
         if self.model_name == "m5p":
-            return M5PModelTree(min_instances=self.min_instances, attribute_names=names)
+            return M5PModelTree(
+                min_instances=self.min_instances,
+                min_std_fraction=self.min_std_fraction,
+                attribute_names=names,
+            )
         if self.model_name == "linear":
             return LinearRegressionModel(attribute_names=names)
-        return RegressionTree(min_samples_leaf=self.min_instances, attribute_names=names)
+        return RegressionTree(
+            min_samples_leaf=self.min_instances,
+            min_variance_fraction=self.min_std_fraction,
+            attribute_names=names,
+        )
 
     # --------------------------------------------------------------- predict
 
@@ -122,6 +143,34 @@ class AgingPredictor:
         if self.clip_predictions:
             predictions = np.clip(predictions, 0.0, self.infinite_ttf)
         return predictions
+
+    def feature_stream(self) -> "FeatureStream":
+        """Open an incremental computer of this predictor's feature rows.
+
+        Push monitoring samples into the stream and hand each returned row to
+        :meth:`predict_row`; the pair replays :meth:`predict_trace`'s newest
+        prediction bit-for-bit at O(window) per mark instead of O(history).
+        """
+        return self._catalog.stream()
+
+    def predict_row(self, row: np.ndarray) -> float:
+        """Predict the time to failure of one catalogue-ordered feature row.
+
+        ``row`` must come from :meth:`feature_stream` (full catalogue order);
+        feature selection and clipping are applied exactly as in
+        :meth:`predict_trace`, and every model predicts rows independently,
+        so the result matches the batch path's last value bit-for-bit.
+        """
+        model = self._require_fitted()
+        if self.requested_features is not None:
+            if self._selected_indices is None:
+                names = self._catalog.feature_names
+                self._selected_indices = [names.index(name) for name in self._selected_names]
+            row = row[self._selected_indices]
+        predictions = model.predict(row.reshape(1, -1))
+        if self.clip_predictions:
+            predictions = np.clip(predictions, 0.0, self.infinite_ttf)
+        return float(predictions[0])
 
     def predict_dataset(self, dataset: AgingDataset) -> np.ndarray:
         """Predict the targets of a pre-built dataset (column-aligned)."""
@@ -160,6 +209,11 @@ class AgingPredictor:
         return self._model is not None
 
     @property
+    def catalog(self) -> FeatureCatalog:
+        """The Table 2 feature catalogue (shared so retrained models align columns)."""
+        return self._catalog
+
+    @property
     def model(self) -> M5PModelTree | LinearRegressionModel | RegressionTree:
         """The underlying fitted learner (for inspection and root-cause analysis)."""
         return self._require_fitted()
@@ -171,10 +225,15 @@ class AgingPredictor:
         return list(self._selected_names)
 
     @property
-    def num_training_instances(self) -> int:
+    def training_dataset(self) -> AgingDataset:
+        """The dataset the model was fitted on (for clones and retraining)."""
         if self._training_dataset is None:
             raise RuntimeError("the predictor has not been fitted yet")
-        return self._training_dataset.num_instances
+        return self._training_dataset
+
+    @property
+    def num_training_instances(self) -> int:
+        return self.training_dataset.num_instances
 
     @property
     def num_leaves(self) -> int | None:

@@ -14,6 +14,10 @@ run the test scenario and score it with the paper's accuracy measures:
   motivating figures (Figures 1 and 2),
 * :mod:`repro.experiments.ablations` -- reproduction-specific ablations
   (sliding-window length, derived variables, smoothing, security margin),
+* :mod:`repro.experiments.lifecycle` -- the adaptive-lifecycle extension:
+  a morphing fault (memory leak turning into a thread leak) streamed
+  through a static champion and the drift-detecting, retraining
+  :class:`~repro.lifecycle.ManagedOnlineMonitor` side by side,
 * :mod:`repro.experiments.cluster` -- the fleet-scale extension: coordinated
   rolling predictive rejuvenation of a load-balanced cluster versus the
   no-rejuvenation and uncoordinated time-based baselines.
@@ -47,6 +51,12 @@ from repro.experiments.exp42 import Experiment42Result, run_experiment_42
 from repro.experiments.exp43 import Experiment43Result, run_experiment_43
 from repro.experiments.exp44 import Experiment44Result, run_experiment_44
 from repro.experiments.figures import figure1_series, figure2_series
+from repro.experiments.lifecycle import (
+    LifecycleExperimentResult,
+    run_lifecycle_experiment,
+    run_morphing_trace,
+    train_static_champion,
+)
 from repro.experiments.runner import (
     run_memory_leak_trace,
     run_no_injection_trace,
@@ -64,6 +74,7 @@ __all__ = [
     "Experiment43Result",
     "Experiment44Result",
     "ExperimentScenarios",
+    "LifecycleExperimentResult",
     "figure1_series",
     "figure2_series",
     "run_cluster_experiment",
@@ -73,7 +84,9 @@ __all__ = [
     "run_experiment_42",
     "run_experiment_43",
     "run_experiment_44",
+    "run_lifecycle_experiment",
     "run_memory_leak_trace",
+    "run_morphing_trace",
     "run_no_injection_trace",
     "run_periodic_pattern_trace",
     "run_security_margin_sweep",
@@ -82,4 +95,5 @@ __all__ = [
     "run_two_resource_trace",
     "run_window_sweep",
     "train_cluster_predictor",
+    "train_static_champion",
 ]

@@ -37,9 +37,11 @@ from repro.cluster.coordinator import (
 from repro.cluster.engine import ClusterEngine
 from repro.cluster.routing import AgingAwareRouting, RoutingPolicy
 from repro.cluster.status import ClusterOutcome
+from repro.cluster.node import MonitorFactory
 from repro.core.predictor import AgingPredictor
 from repro.experiments.runner import run_memory_leak_trace, run_thread_leak_trace, run_two_resource_trace
 from repro.experiments.scenarios import ClusterScenario
+from repro.lifecycle import LifecycleConfig, ManagedOnlineMonitor
 from repro.testbed.monitoring.collector import Trace
 
 __all__ = [
@@ -47,6 +49,7 @@ __all__ = [
     "generate_cluster_training_traces",
     "train_cluster_predictor",
     "derive_time_based_interval",
+    "lifecycle_monitor_factory",
     "run_cluster_policy",
     "run_cluster_experiment",
 ]
@@ -171,11 +174,42 @@ def derive_time_based_interval(scenario: ClusterScenario, traces: list[Trace]) -
     return min(crash_times) / 2.0
 
 
+def lifecycle_monitor_factory(
+    scenario: ClusterScenario, predictor: AgingPredictor
+) -> MonitorFactory:
+    """Per-node builder of lifecycle-managed monitors for a fleet.
+
+    Every node gets its *own* champion -- a fresh fit of the predictor's
+    model on the predictor's training dataset (deterministic, so before any
+    promotion the per-node champions predict bit-identically to the shared
+    one) -- because promotions are node-local: one node's drift must not
+    swap the model a healthy peer is relying on.  Heterogeneous fleets pick
+    each node's resource capacities from its own testbed configuration.
+    """
+    training_dataset = predictor.training_dataset
+    model = predictor.model_name
+
+    def factory(node_id: int) -> ManagedOnlineMonitor:
+        node_config = (
+            scenario.node_configs[node_id] if scenario.node_configs is not None else scenario.config
+        )
+        return ManagedOnlineMonitor(
+            champion=AgingPredictor(model=model).fit_dataset(training_dataset),
+            config=LifecycleConfig().for_testbed(node_config),
+            alarm_threshold_seconds=scenario.alarm_threshold_seconds,
+            alarm_consecutive=scenario.alarm_consecutive,
+            run=f"n{node_id}",
+        )
+
+    return factory
+
+
 def run_cluster_policy(
     scenario: ClusterScenario,
     coordinator: ClusterRejuvenationCoordinator,
     routing_policy: RoutingPolicy | None = None,
     predictor: AgingPredictor | None = None,
+    monitor_factory: MonitorFactory | None = None,
 ) -> ClusterOutcome:
     """Operate one fleet configuration over the scenario horizon."""
     engine = ClusterEngine(
@@ -187,6 +221,7 @@ def run_cluster_policy(
         routing_policy=routing_policy,
         coordinator=coordinator,
         predictor=predictor,
+        monitor_factory=monitor_factory,
         alarm_threshold_seconds=scenario.alarm_threshold_seconds,
         alarm_consecutive=scenario.alarm_consecutive,
         drain_seconds=scenario.drain_seconds,
@@ -223,6 +258,10 @@ def run_cluster_experiment(
 
     no_rejuvenation = run_cluster_policy(active, NoClusterRejuvenation())
     time_based = run_cluster_policy(active, UncoordinatedTimeBasedRejuvenation(interval))
+    # scenario.lifecycle swaps the predictive policy's per-incarnation
+    # monitors for node-local lifecycle managers; the stationary scenarios
+    # never fire the drift test, so outcomes must not change (pinned by the
+    # cluster lifecycle tests).
     rolling = run_cluster_policy(
         active,
         RollingPredictiveRejuvenation(
@@ -230,7 +269,8 @@ def run_cluster_experiment(
             min_active_fraction=active.min_active_fraction,
         ),
         routing_policy=AgingAwareRouting(ttf_comfort_seconds=active.ttf_comfort_seconds),
-        predictor=predictor,
+        predictor=None if active.lifecycle else predictor,
+        monitor_factory=lifecycle_monitor_factory(active, predictor) if active.lifecycle else None,
     )
     return ClusterExperimentResult(
         no_rejuvenation=no_rejuvenation,

@@ -78,6 +78,17 @@ class ExperimentScenarios:
     phase_seconds_44: float = 1800.0
     #: Duration of the healthy training run (1 hour in the paper).
     healthy_run_seconds: float = 3600.0
+    #: Morphing (lifecycle) scenario: the run opens as a *mild* memory leak
+    #: (one leak event per N requests -- large N = slow aging, so the heap
+    #: is far from exhausted when the regime changes)...
+    morph_memory_n: int = 30
+    #: ...and morphs into a pure thread leak (M threads every T seconds)
+    #: the champion's memory-only training never showed it.
+    morph_thread_m: int = 45
+    morph_thread_t: int = 30
+    #: When the regime morphs, and the run's safety cap.
+    morph_time_seconds: float = 2400.0
+    morph_max_seconds: float = 6 * 3600.0
 
     @classmethod
     def paper_scale(cls, seed: int = 2010) -> "ExperimentScenarios":
@@ -100,6 +111,11 @@ class ExperimentScenarios:
             phase_seconds_43=300.0,
             phase_seconds_44=450.0,
             healthy_run_seconds=900.0,
+            morph_memory_n=75,
+            morph_thread_m=16,
+            morph_thread_t=24,
+            morph_time_seconds=600.0,
+            morph_max_seconds=5400.0,
         )
 
     def seed_for(self, run_index: int) -> int:
@@ -188,6 +204,12 @@ class ClusterScenario:
     max_concurrent_restarts: int = 1
     min_active_fraction: float = 0.5
     time_based_interval_seconds: float | None = None
+    #: Run the predictive policy's monitors under the adaptive lifecycle
+    #: manager (:mod:`repro.lifecycle`): drift detection plus
+    #: champion/challenger retraining per node.  On the stationary scenarios
+    #: above no drift fires, so this must not change any outcome -- the
+    #: no-regression property the cluster lifecycle tests pin down.
+    lifecycle: bool = False
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

@@ -1,0 +1,370 @@
+"""Deterministic drift detection over the live forecast stream.
+
+The paper's predictor adapts to *modelled* regimes: whatever consumption
+patterns its training runs contained.  When the aging pattern morphs into
+something the model never saw (a memory leak turning into a thread leak),
+the forecasts go quietly wrong -- and no true label shows up to say so until
+the crash itself.  The lifecycle layer therefore watches the one error
+signal that is observable at every mark:
+
+**Forecast consistency.**  A time-to-failure forecast is a countdown.  If
+the model understands the current regime, the prediction at mark *i* should
+be the previous prediction minus the elapsed time; the signed residual
+
+    e_i = p_i - (p_{i-1} - (t_i - t_{i-1}))
+
+hovers near zero under a well-modelled stationary regime and jumps by the
+size of the forecast revision whenever the regime shifts under a model that
+no longer fits.  :class:`RollingErrorTracker` maintains that residual and
+its rolling mean absolute value over a sliding window.
+
+**Survival overshoot.**  Consistency alone is blind to a forecast that is
+*stuck*: a model predicting a constant (wrong) value is perfectly
+consistent.  But predictions do get labelled by later observations -- in
+one direction, immediately: surviving past a prediction's implied crash
+time falsifies that prediction by at least the overshoot.  The tracker
+therefore also maintains ``survival_overshoot``, how far the present has
+outlived the most pessimistic implied crash time of any prediction since
+the last reset.  A single wrong pessimistic mark does grow this signal
+until the drift test eventually fires -- by design: a declared drift is
+cheap (the promotion gate rejects a pointless challenger and the test
+re-arms), while a genuinely falsified forecast left unexamined is not.
+The drift test watches the maximum of both signals.
+
+**Reference disagreement.**  Both signals above are blind to a forecast
+stuck *optimistic*: "all fine for hours" is consistent and is never
+falsified by survival -- until the crash.  What is always available is the
+paper's own Equation (1): the naive slope extrapolation of whichever
+resource is being consumed *right now*.  The naive estimate is regime-aware
+-- it needs no training, so it cannot drift -- and the rolling mean of the
+*positive part* of ``prediction - naive_estimate`` exposes a model
+explaining the world through the wrong resource.  The gap is one-sided by
+design: when the model predicts an *earlier* crash than the naive slope,
+the disagreement proves nothing -- seeing aging that a short-window slope
+misses is the whole point of the trained model, and wrongly pessimistic
+forecasts are falsified observably by the survival overshoot anyway.
+
+The gap is deliberately **not** a drift trigger, only the all-clear test
+of an already-open drift episode.  Early in a regime the naive estimate is
+not a credible witness: its slope over a short window overestimates the
+long-run consumption rate, and its implied crash time keeps receding as
+the run outlives it (measured on the morphing scenario: the naive memory
+estimate hovers around 1400 s for minutes while the true exhaustion is
+hours away).  Declaring the champion drifted on that testimony would be
+bad enough; worse, the challenger gate is scored on pseudo-labels from the
+*same* naive estimators, so a false trigger promotes a naive-memorising
+challenger over a better champion.  Inside an episode the roles invert:
+the regime change is established, the naive has had time to lock onto the
+newly consumed resource, and "a full window of near-zero gap" is exactly
+the evidence that the current champion has caught up.
+
+**Domain novelty.**  The scenario the lifecycle exists for -- the aging
+pattern morphs into something the model never saw -- is directly
+observable without any error estimate: the newly consumed resource's gauge
+climbs past the range the champion was trained on.
+:class:`DomainNoveltyDetector` tests each monitored gauge against its
+maximum over the champion's own training rows, with a relative margin (so
+stationary noise around the training range stays quiet) and the same
+consecutive-marks persistence discipline as the error-signal test.  This
+is the primary new-regime trigger: it fires within marks of the morph,
+and it *cannot* fire while the fleet operates inside the regimes the
+training runs covered.
+
+**Page-Hinkley.**  :class:`PageHinkleyDetector` runs the Page-Hinkley test
+for an increase of the (non-negative) residual magnitude above its known
+healthy level -- zero.  The classic test estimates the pre-change mean on
+line; here the observed signal *is* an error magnitude whose in-control
+value is zero by construction, so the test uses the known target instead of
+an adapted mean (the CUSUM form of Page-Hinkley).  That distinction is
+load-bearing: an adaptive mean "learns" a standing disagreement as the new
+normal within a few marks and then never alarms on it, while a drifted
+model is precisely one that is *persistently* wrong.  ``delta`` absorbs the
+per-mark noise floor and the persistence requirement keeps a single wild
+mark from triggering a retrain.  All three classes are pure float
+arithmetic over the observed sequence -- no randomness, no wall clock --
+so seeded runs reproduce their decisions byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["DomainNoveltyDetector", "RollingErrorTracker", "PageHinkleyDetector"]
+
+
+class RollingErrorTracker:
+    """Rolling signed forecast-consistency error of an on-line TTF stream."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self._errors: deque[float] = deque(maxlen=window)
+        self._reference_gaps: deque[float] = deque(maxlen=window)
+        self._earliest_implied_crash = float("inf")
+        self._last_time = 0.0
+        self._previous: tuple[float, float] | None = None
+
+    @property
+    def num_errors(self) -> int:
+        return len(self._errors)
+
+    @property
+    def rolling_mae(self) -> float:
+        """Mean absolute residual over the sliding window (0 when empty)."""
+        if not self._errors:
+            return 0.0
+        total = 0.0
+        for error in self._errors:
+            total += abs(error)
+        return total / len(self._errors)
+
+    @property
+    def rolling_mean(self) -> float:
+        """Mean signed residual over the sliding window (0 when empty)."""
+        if not self._errors:
+            return 0.0
+        total = 0.0
+        for error in self._errors:
+            total += error
+        return total / len(self._errors)
+
+    def push(
+        self,
+        time_seconds: float,
+        predicted_ttf_seconds: float,
+        reference_ttf_seconds: float | None = None,
+    ) -> float:
+        """Record one forecast; return its signed consistency residual.
+
+        The first forecast after construction (or :meth:`reset`) has no
+        predecessor to be consistent with, so its residual is zero.
+        ``reference_ttf_seconds`` is the regime-aware analytic estimate
+        (Equation (1)) the forecast is compared against for the
+        disagreement signal; omit it to track consistency only.
+        """
+        if self._previous is None:
+            residual = 0.0
+        else:
+            previous_time, previous_prediction = self._previous
+            expected = previous_prediction - (time_seconds - previous_time)
+            residual = predicted_ttf_seconds - expected
+        self._previous = (float(time_seconds), float(predicted_ttf_seconds))
+        self._errors.append(residual)
+        if reference_ttf_seconds is not None:
+            # Positive part only: optimism beyond the regime-aware reference
+            # is the blind spot this signal exists for; a forecast *below*
+            # the reference is the model seeing aging the short-window slope
+            # cannot, and clamps to "no disagreement" (see the module
+            # docstring).
+            gap = float(predicted_ttf_seconds) - float(reference_ttf_seconds)
+            self._reference_gaps.append(gap if gap > 0.0 else 0.0)
+        implied_crash = float(time_seconds) + float(predicted_ttf_seconds)
+        if implied_crash < self._earliest_implied_crash:
+            self._earliest_implied_crash = implied_crash
+        self._last_time = float(time_seconds)
+        return residual
+
+    @property
+    def survival_overshoot(self) -> float:
+        """Seconds the stream has outlived its most pessimistic forecast.
+
+        The most pessimistic prediction since the last reset implied a crash
+        at ``min(t_j + p_j)``; still being alive ``now`` proves that
+        prediction wrong by at least ``now - min(t_j + p_j)`` (0 when no
+        implied crash time has passed yet).
+        """
+        overshoot = self._last_time - self._earliest_implied_crash
+        return overshoot if overshoot > 0.0 else 0.0
+
+    @property
+    def rolling_reference_gap(self) -> float:
+        """Mean positive-part ``prediction - reference`` over the window.
+
+        Rolling mean on purpose: a systematically optimistic forecast
+        survives the averaging while the tree models' alternating
+        leaf-switch spikes dilute.  0 when the window is empty -- or when
+        the model never exceeds the reference (the clamped direction).
+        """
+        if not self._reference_gaps:
+            return 0.0
+        total = 0.0
+        for gap in self._reference_gaps:
+            total += gap
+        return total / len(self._reference_gaps)
+
+    @property
+    def peak_reference_gap(self) -> float:
+        """Largest positive-part gap in the window (0 if empty).
+
+        The *mean* gap is the drift trigger (spikes dilute); the *peak* is
+        the all-clear test.  A stale champion whose constant forecast is
+        crossed by a counting-down reference has a near-zero mean gap right
+        at the crossing -- the peak still exposes the optimism at the
+        window's older edge, so "agreement" means a full window of small
+        gaps.
+        """
+        peak = 0.0
+        for gap in self._reference_gaps:
+            if gap > peak:
+                peak = gap
+        return peak
+
+    def drift_signal(self) -> float:
+        """The non-negative error magnitude the change-point test watches.
+
+        The max of the two *trustworthy* error signals: the rolling signed
+        consistency mean (systematic forecast revisions) and the survival
+        overshoot (falsified pessimism).  The reference gap is deliberately
+        excluded -- it testifies through the naive estimators, which are
+        not credible witnesses outside an established regime (see the
+        module docstring); the episode-exit test consults it separately.
+        """
+        signal = abs(self.rolling_mean)
+        overshoot = self.survival_overshoot
+        if overshoot > signal:
+            signal = overshoot
+        return signal
+
+    def reset(self) -> None:
+        """Forget the stream (after rejuvenation or a champion swap)."""
+        self._errors.clear()
+        self._reference_gaps.clear()
+        self._earliest_implied_crash = float("inf")
+        self._last_time = 0.0
+        self._previous = None
+
+
+class DomainNoveltyDetector:
+    """Out-of-training-domain test over monitored resource gauges.
+
+    Parameters
+    ----------
+    bounds:
+        Per-gauge maximum observed across the champion's training rows
+        (``{sample attribute: max value}``).  Gauges are non-negative
+        resource levels (MB of old generation, thread counts).  An empty
+        mapping disables the test -- :meth:`update` never reports novelty.
+    margin_fraction:
+        Relative headroom above the training maximum a gauge must exceed
+        to count as novel: the threshold is ``bound * (1 + margin)``.
+        Absorbs the workload noise that makes a stationary fleet wobble
+        around the levels its training runs reached.
+    persistence:
+        Consecutive marks a gauge must stay beyond its threshold before
+        :meth:`update` reports novelty -- the same discipline as the
+        Page-Hinkley persistence, for the same reason (one-mark spikes are
+        load blips, not regime changes).
+    """
+
+    def __init__(
+        self, bounds: dict[str, float], margin_fraction: float, persistence: int = 1
+    ) -> None:
+        if margin_fraction < 0:
+            raise ValueError("margin_fraction cannot be negative")
+        if persistence < 1:
+            raise ValueError("persistence must be at least 1")
+        self.bounds = {attribute: float(bound) for attribute, bound in bounds.items()}
+        self.margin_fraction = float(margin_fraction)
+        self.persistence = persistence
+        self.reset()
+
+    def reset(self) -> None:
+        """Re-arm the test (after the champion was replaced)."""
+        self._streak = 0
+        self.novel_attribute: str | None = None
+        self.novel_value = 0.0
+
+    def threshold(self, attribute: str) -> float:
+        """The level beyond which ``attribute`` counts as out-of-domain."""
+        return self.bounds[attribute] * (1.0 + self.margin_fraction)
+
+    @property
+    def streak(self) -> int:
+        return self._streak
+
+    def update(self, values: dict[str, float]) -> bool:
+        """Feed one mark's gauges; return whether novelty is confirmed.
+
+        ``values`` must cover every bounded attribute; extra attributes
+        (gauges the training rows never recorded) are ignored.
+        """
+        novel: str | None = None
+        for attribute in self.bounds:
+            value = float(values[attribute])
+            if value > self.threshold(attribute):
+                novel = attribute
+                self.novel_value = value
+                break
+        self.novel_attribute = novel
+        if novel is None:
+            self._streak = 0
+            return False
+        self._streak += 1
+        return self._streak >= self.persistence
+
+
+class PageHinkleyDetector:
+    """Page-Hinkley test against a known zero baseline, with persistence.
+
+    Parameters
+    ----------
+    delta:
+        Magnitude of per-mark fluctuation the test tolerates (the
+        Page-Hinkley allowance, in the units of the observed signal --
+        seconds of residual here).  The observed signal is a non-negative
+        error magnitude whose healthy value is zero, so ``delta`` is the
+        noise floor below which marks contribute nothing.
+    threshold:
+        Alarm level of the drift statistic ``PH_T = m_T - min(m_t)`` where
+        ``m_T = sum(x_t - delta)``.  The baseline mean is the *known*
+        in-control value (zero), not an on-line estimate: an adapted mean
+        would absorb a standing disagreement as the new normal and go
+        permanently blind to exactly the persistent error this test exists
+        to catch (see the module docstring).
+    persistence:
+        Consecutive updates the statistic must spend above the threshold
+        before :meth:`update` reports drift.  Protects against one-mark
+        spikes (a GC pause, a load blip) masquerading as regime change.
+    """
+
+    def __init__(self, delta: float, threshold: float, persistence: int = 1) -> None:
+        if delta < 0:
+            raise ValueError("delta cannot be negative")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if persistence < 1:
+            raise ValueError("persistence must be at least 1")
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.persistence = persistence
+        self.reset()
+
+    def reset(self) -> None:
+        """Re-arm the test (after a drift was handled)."""
+        self._count = 0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+        self.statistic = 0.0
+        self._over_threshold = 0
+
+    @property
+    def num_updates(self) -> int:
+        return self._count
+
+    @property
+    def over_threshold_streak(self) -> int:
+        return self._over_threshold
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; return whether drift is now confirmed."""
+        self._count += 1
+        self._cumulative += value - self.delta
+        if self._cumulative < self._minimum:
+            self._minimum = self._cumulative
+        self.statistic = self._cumulative - self._minimum
+        if self.statistic > self.threshold:
+            self._over_threshold += 1
+        else:
+            self._over_threshold = 0
+        return self._over_threshold >= self.persistence

@@ -1,0 +1,189 @@
+"""Challenger training on live-trace windows, and the promotion gate.
+
+The hard part of retraining on-line is labels: the true time to failure of
+the marks streaming in right now is unknowable until the crash they lead to.
+Waiting for crashes to retrain defeats the point (the crash is what retraining
+should prevent), so challengers are trained on **pseudo-labels** from the
+paper's own Equation (1): for every resource the testbed can exhaust, the
+naive sliding-window slope extrapolation ``(Rmax - R_t) / S_t``, capped at
+the "infinite" horizon, with the per-mark label being the minimum over
+resources.  The pseudo-labels are exactly what the naive baseline would
+predict -- noisy, but *regime-aware*: unlike the stale champion they know
+which resource is being consumed right now, which is the information a
+drifted model is missing.  When the manager has seen real crashes since
+deployment, those traces carry true labels and are merged into the training
+set (the paper's off-line labelling, applied opportunistically).
+
+The **gate** protects the champion: the candidate is scored against the
+champion on a held-out suffix of the window (the most recent marks -- the
+regime the next predictions will face) and promoted only when its holdout
+MAE beats the champion's by a configurable margin.  Everything here is a
+pure function of the samples, so seeded runs gate identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.dataset import AgingDataset, build_dataset
+from repro.core.predictor import AgingPredictor
+from repro.ml.naive import NaiveSlopePredictor
+from repro.testbed.monitoring.collector import MonitoringSample, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lifecycle.manager import LifecycleConfig
+
+__all__ = ["GateDecision", "pseudo_label_samples", "train_challenger"]
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """Outcome of one champion-versus-challenger evaluation."""
+
+    promote: bool
+    champion_mae: float
+    challenger_mae: float
+    holdout_rows: int
+    training_rows: int
+
+    @property
+    def improvement(self) -> float:
+        """Champion-minus-challenger holdout MAE (positive = challenger better)."""
+        return self.champion_mae - self.challenger_mae
+
+
+def pseudo_label_samples(
+    samples: Sequence[MonitoringSample], config: "LifecycleConfig"
+) -> np.ndarray:
+    """Equation (1) pseudo-labels for a window of live marks.
+
+    One :class:`NaiveSlopePredictor` per exhaustible resource replays the
+    window; each mark's label is the minimum extrapolated time to failure
+    over the resources, capped at the configured horizon.
+    """
+    times = np.array([sample.time_seconds for sample in samples])
+    labels = np.full(len(samples), float(config.horizon_seconds))
+    for attribute, capacity in config.monitored_resources():
+        naive = NaiveSlopePredictor(
+            capacity=capacity, window=config.label_window, horizon_cap=config.horizon_seconds
+        )
+        values = np.array([float(getattr(sample, attribute)) for sample in samples])
+        labels = np.minimum(labels, naive.predict_series(times, values))
+    return labels
+
+
+def train_challenger(
+    champion: AgingPredictor,
+    samples: Sequence[MonitoringSample],
+    outcome_traces: Sequence[Trace],
+    config: "LifecycleConfig",
+) -> tuple[AgingPredictor, GateDecision]:
+    """Train a challenger on the live window and gate it against the champion.
+
+    A strided subset of the window (``holdout_fraction``, anchored on the
+    newest mark) is held out of training and used to score both models
+    against the pseudo-labels.  The stride matters: drift is typically
+    declared a handful of marks into the new regime, so a contiguous
+    most-recent holdout would claim *every* post-change mark and leave the
+    challenger to train purely on the old regime it is supposed to replace.
+    Striding keeps fresh-regime marks on both sides of the gate.  Rows whose
+    pseudo-label violates the countdown property (see the in-line comment)
+    are excluded from training and holdout alike; raises ``ValueError`` when
+    too few stable rows remain -- the caller should retry once the labellers
+    settle.  Crashed traces observed since deployment (``outcome_traces``)
+    contribute true-labelled rows to the training side only.  Returns the
+    fitted challenger and the gate's verdict -- the caller decides what a
+    promotion means (this function mutates nothing).
+    """
+    if len(samples) < config.min_training_marks:
+        raise ValueError(
+            f"need at least {config.min_training_marks} marks to train a challenger, "
+            f"got {len(samples)}"
+        )
+    catalog = champion.catalog
+    window_trace = Trace(samples=list(samples), workload_ebs=samples[-1].workload_ebs)
+    matrix, names = catalog.compute(window_trace)
+    labels = pseudo_label_samples(samples, config)
+    times = window_trace.times()
+    row_count = len(samples)
+
+    # A trustworthy pseudo-label behaves like a countdown: consecutive labels
+    # should shrink by the elapsed time.  While the labeller's sliding window
+    # straddles a regime boundary its slope estimate mixes both regimes and
+    # the labels jump by thousands of seconds -- training on those rows
+    # teaches a wildly wrong label-versus-feature gradient.  Drop every row
+    # whose label breaks the countdown property beyond the tolerance.
+    countdown_residuals = labels[1:] - (labels[:-1] - np.diff(times))
+    stable = np.ones(row_count, dtype=bool)
+    stable[1:] = np.abs(countdown_residuals) <= config.label_consistency_tolerance_seconds
+
+    stride = max(2, int(round(1.0 / config.holdout_fraction)))
+    # Count back from the newest mark so the very latest regime is always
+    # represented in the holdout, whatever the window length modulo stride.
+    holdout_mask = (((row_count - 1 - np.arange(row_count)) % stride) == 0) & stable
+    if not holdout_mask.any():
+        raise ValueError("no stable marks to hold out; the window is mid-transition")
+    holdout_rows = int(np.count_nonzero(holdout_mask))
+    train_mask = ~holdout_mask & stable
+    train_count = int(np.count_nonzero(train_mask))
+    if train_count < config.challenger_min_instances:
+        raise ValueError(
+            f"only {train_count} stable marks to train on "
+            f"(need {config.challenger_min_instances}); the window is mid-transition"
+        )
+
+    features = [matrix[train_mask]]
+    targets = [labels[train_mask]]
+    row_times = [times[train_mask]]
+    trace_ids = [np.zeros(train_count, dtype=int)]
+    for index, trace in enumerate(outcome_traces):
+        outcome = build_dataset([trace], catalog=catalog, infinite_ttf=config.horizon_seconds)
+        features.append(outcome.features)
+        targets.append(outcome.targets)
+        row_times.append(outcome.times)
+        trace_ids.append(np.full(outcome.num_instances, index + 1, dtype=int))
+    training = AgingDataset(
+        features=np.vstack(features),
+        targets=np.concatenate(targets),
+        feature_names=list(names),
+        times=np.concatenate(row_times),
+        trace_ids=np.concatenate(trace_ids),
+    )
+
+    challenger = AgingPredictor(
+        model=config.challenger_model,
+        window=champion.window,
+        min_instances=config.challenger_min_instances,
+        min_std_fraction=config.challenger_min_std_fraction,
+        infinite_ttf=champion.infinite_ttf,
+        clip_predictions=champion.clip_predictions,
+    )
+    challenger.fit_dataset(training)
+
+    # Score on the leading edge only: over the full window the incumbent was
+    # trained on almost the same labels and the two are near-ties; staleness
+    # shows in the most recent marks.  Fall back to the full stable holdout
+    # when the recent stretch contributed no stable rows.
+    recent_mask = holdout_mask & (np.arange(row_count) >= row_count - config.gate_recent_marks)
+    score_mask = recent_mask if recent_mask.any() else holdout_mask
+    holdout = AgingDataset(
+        features=matrix[score_mask],
+        targets=labels[score_mask],
+        feature_names=list(names),
+        times=times[score_mask],
+    )
+    champion_mae = float(np.mean(np.abs(champion.predict_dataset(holdout) - holdout.targets)))
+    challenger_mae = float(
+        np.mean(np.abs(challenger.predict_dataset(holdout) - holdout.targets))
+    )
+    decision = GateDecision(
+        promote=challenger_mae < config.gate_margin * champion_mae,
+        champion_mae=champion_mae,
+        challenger_mae=challenger_mae,
+        holdout_rows=int(np.count_nonzero(score_mask)),
+        training_rows=training.num_instances,
+    )
+    return challenger, decision

@@ -182,7 +182,15 @@ class LinearRegressionModel:
     # -------------------------------------------------------------- predict
 
     def predict(self, features: Sequence[Sequence[float]]) -> np.ndarray:
-        """Predict targets for a feature matrix (or a single row)."""
+        """Predict targets for a feature matrix (or a single row).
+
+        The dot products accumulate sequentially in feature order, one row at
+        a time.  A BLAS ``x @ coefficients`` would be faster on huge matrices
+        but its SIMD kernels pick accumulation orders based on the operands'
+        memory alignment, so the *same* row can predict differently as a view
+        versus a copy -- poison for the streaming monitor, whose incremental
+        single-row predictions must match batch replays bit-for-bit.
+        """
         state = self._require_fitted()
         x = np.asarray(features, dtype=float)
         single = x.ndim == 1
@@ -192,7 +200,14 @@ class LinearRegressionModel:
             raise ValueError(
                 f"expected {state.coefficients.shape[0]} features, got {x.shape[1]}"
             )
-        predictions = x @ state.coefficients + state.intercept
+        coefficients = state.coefficients.tolist()
+        intercept = state.intercept
+        predictions = np.empty(x.shape[0])
+        for index, row in enumerate(x.tolist()):
+            total = 0.0
+            for value, coefficient in zip(row, coefficients):
+                total += value * coefficient
+            predictions[index] = total + intercept
         return predictions[0] if single else predictions
 
     def predict_one(self, row: Sequence[float]) -> float:

@@ -7,9 +7,11 @@ Determinism rules baked into the data model:
   sorts them, so insertion order cannot leak into the canonical trace.
 - Histograms use fixed power-of-two buckets -- no data-dependent bucket
   boundaries that could differ between runs.
-- The event list is capped.  Overflow increments ``dropped_events`` (made
-  visible in the trace) instead of growing without bound; the cap is part of
-  the determinism contract because two identical runs drop identically.
+- The event list is capped for the sidecar-only channels (``engine``,
+  ``profile``): overflow increments ``dropped_events`` (made visible in the
+  trace) instead of growing without bound, and two identical runs drop
+  identically.  ``sim`` events are exempt from the cap -- they are what the
+  trace digest covers, so dropping them would corrupt the digest silently.
 """
 
 from __future__ import annotations
@@ -114,8 +116,15 @@ class Telemetry:
         channel: str = SIM,
         data: Mapping[str, object] | None = None,
     ) -> None:
-        """Append one trace event (dropped, and counted, past the cap)."""
-        if len(self.events) >= self.max_events:
+        """Append one trace event.
+
+        Past ``max_events`` only the sidecar-bound channels (``engine``,
+        ``profile``) are dropped (and counted in ``dropped_events``).  A
+        ``sim`` event is *never* dropped: the sim channel is what the trace
+        digest covers, and a capped sim stream would let two identical runs
+        emit different digests with only a counter to show for it.
+        """
+        if len(self.events) >= self.max_events and channel != SIM:
             self.dropped_events += 1
             return
         self.events.append(

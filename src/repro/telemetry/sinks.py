@@ -48,6 +48,18 @@ def _canonical(record: dict) -> str:
     return json.dumps(record, sort_keys=True, separators=(",", ":"), allow_nan=False)
 
 
+def _digest_view(record: dict) -> dict:
+    """The digest-bound form of a sim-channel record.
+
+    ``dropped_events`` counts sidecar-channel (engine/profile) overflow --
+    sim events are never dropped -- so two runs with identical sim streams
+    must digest equally however much engine noise the cap discarded.
+    """
+    if record.get("type") == "meta" and "dropped_events" in record:
+        return {key: value for key, value in record.items() if key != "dropped_events"}
+    return record
+
+
 def trace_records(telemetry: "Telemetry") -> Iterator[dict]:
     """Yield the trace records in canonical order (without the digest line)."""
     meta: dict[str, object] = {"type": "meta", "channel": SIM, "schema": 1}
@@ -91,10 +103,9 @@ def trace_lines(telemetry: "Telemetry") -> list[str]:
     lines = []
     hasher = hashlib.sha256()
     for record in trace_records(telemetry):
-        line = _canonical(record)
-        lines.append(line)
+        lines.append(_canonical(record))
         if record["channel"] == SIM:
-            hasher.update(line.encode("utf-8"))
+            hasher.update(_canonical(_digest_view(record)).encode("utf-8"))
             hasher.update(b"\n")
     lines.append(
         _canonical(
@@ -119,7 +130,7 @@ def trace_digest(telemetry: "Telemetry") -> str:
     hasher = hashlib.sha256()
     for record in trace_records(telemetry):
         if record["channel"] == SIM:
-            hasher.update(_canonical(record).encode("utf-8"))
+            hasher.update(_canonical(_digest_view(record)).encode("utf-8"))
             hasher.update(b"\n")
     return hasher.hexdigest()
 

@@ -1,0 +1,34 @@
+"""The executor's default worker count must respect CPU affinity.
+
+``os.cpu_count()`` reports the whole machine; inside containers and
+cgroup-limited CI runners the process is often pinned to a subset, and
+sizing the pool off the machine count oversubscribes it.
+"""
+
+import os
+
+import pytest
+
+from repro.api.executor import default_worker_count
+
+
+class TestDefaultWorkerCount:
+    def test_positive(self):
+        assert default_worker_count() >= 1
+
+    @pytest.mark.skipif(
+        not hasattr(os, "sched_getaffinity"), reason="platform has no CPU affinity"
+    )
+    def test_matches_affinity_not_machine_count(self):
+        assert default_worker_count() == len(os.sched_getaffinity(0))
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert default_worker_count() == (os.cpu_count() or 1)
+
+    def test_survives_affinity_errors(self, monkeypatch):
+        def boom(pid):
+            raise OSError("no affinity for you")
+
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        assert default_worker_count() == (os.cpu_count() or 1)

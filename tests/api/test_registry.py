@@ -28,7 +28,7 @@ class TestRegistryCompleteness:
             public
             for public in repro.experiments.__all__
             if public.startswith("run_experiment_")
-            or public == "run_cluster_experiment"
+            or public in ("run_cluster_experiment", "run_lifecycle_experiment")
             or public.startswith("figure")
             or public in (
                 "run_window_sweep",
@@ -47,7 +47,9 @@ class TestRegistryCompleteness:
 
     def test_expected_names_present(self):
         names = set(api.list_experiments())
-        assert {"exp41", "exp42", "exp43", "exp44", "figure1", "figure2", "cluster"} <= names
+        assert {
+            "exp41", "exp42", "exp43", "exp44", "figure1", "figure2", "cluster", "lifecycle"
+        } <= names
         assert {n for n in names if n.startswith("ablation_")} == {
             "ablation_window",
             "ablation_derived",

@@ -1,0 +1,94 @@
+"""The streaming hot path: incremental predictions vs full-history replays.
+
+``OnlineAgingMonitor.observe`` used to rebuild the entire feature matrix
+from the entire history at every mark -- an O(n^2) loop for a streaming
+consumer.  The incremental path (``FeatureStream`` + ``predict_row``) must
+be **bit-for-bit** identical to the batch computation (tree models route on
+ulp-level splits, and the engines' golden digests assume the equivalence)
+while retaining only O(window) state however long the stream runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureCatalog
+from repro.core.online import OnlineAgingMonitor
+from repro.core.predictor import AgingPredictor
+
+
+def streamed_predictions(predictor, trace):
+    monitor = OnlineAgingMonitor(predictor)
+    return np.array([monitor.observe(sample).predicted_ttf_seconds for sample in trace])
+
+
+class TestFeatureStreamParity:
+    def test_rows_match_batch_matrix_bitwise(self, test_trace):
+        catalog = FeatureCatalog()
+        matrix, _ = catalog.compute(test_trace)
+        stream = catalog.stream()
+        for index, sample in enumerate(test_trace):
+            row = stream.push(sample)
+            assert np.array_equal(row, matrix[index]), f"row {index} diverged"
+
+    def test_raw_only_catalog(self, test_trace):
+        catalog = FeatureCatalog(include_derived=False)
+        matrix, _ = catalog.compute(test_trace)
+        stream = catalog.stream()
+        for index, sample in enumerate(test_trace):
+            assert np.array_equal(stream.push(sample), matrix[index])
+
+    def test_rejects_non_increasing_times(self, test_trace):
+        stream = FeatureCatalog().stream()
+        samples = list(test_trace)
+        stream.push(samples[1])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            stream.push(samples[0])
+
+
+class TestOnlineMonitorParity:
+    @pytest.mark.parametrize("model", ["m5p", "linear", "tree"])
+    def test_streaming_matches_batch_replay(self, model, training_traces, test_trace):
+        predictor = AgingPredictor(model=model).fit(training_traces)
+        batch = predictor.predict_trace(test_trace)
+        assert np.array_equal(streamed_predictions(predictor, test_trace), batch)
+
+    def test_streaming_matches_batch_with_feature_selection(self, training_traces, test_trace):
+        predictor = AgingPredictor(
+            model="m5p",
+            feature_names=["old_used_mb", "swa_speed[old_used_mb]", "num_threads"],
+        ).fit(training_traces)
+        batch = predictor.predict_trace(test_trace)
+        assert np.array_equal(streamed_predictions(predictor, test_trace), batch)
+
+    def test_streaming_matches_batch_on_healthy_run(self, training_traces, healthy_trace):
+        predictor = AgingPredictor(model="m5p").fit(training_traces)
+        batch = predictor.predict_trace(healthy_trace)
+        assert np.array_equal(streamed_predictions(predictor, healthy_trace), batch)
+
+
+class TestBoundedMemory:
+    def test_monitor_retains_only_the_feature_window(self, training_traces, test_trace):
+        predictor = AgingPredictor(model="tree").fit(training_traces)
+        monitor = OnlineAgingMonitor(predictor)
+        for sample in test_trace:
+            monitor.observe(sample)
+        assert monitor.num_samples == len(test_trace)
+        assert len(monitor.recent_samples) <= predictor.window + 1
+        assert monitor.recent_samples[-1] is list(test_trace)[-1]
+
+    def test_reset_replays_identically(self, training_traces, test_trace):
+        predictor = AgingPredictor(model="m5p").fit(training_traces)
+        monitor = OnlineAgingMonitor(predictor)
+        first = [monitor.observe(sample).predicted_ttf_seconds for sample in test_trace]
+        monitor.reset()
+        assert monitor.num_samples == 0
+        second = [monitor.observe(sample).predicted_ttf_seconds for sample in test_trace]
+        assert first == second
+
+    def test_rejects_time_going_backwards(self, training_traces, test_trace):
+        predictor = AgingPredictor(model="m5p").fit(training_traces)
+        monitor = OnlineAgingMonitor(predictor)
+        samples = list(test_trace)
+        monitor.observe(samples[1])
+        with pytest.raises(ValueError, match="increasing time order"):
+            monitor.observe(samples[0])

@@ -1,0 +1,177 @@
+"""Unit coverage of the drift-detection primitives.
+
+Everything here is pure float arithmetic over explicit sequences, so the
+contracts are pinned without any testbed in the loop: the one-sided
+reference gap, the zero-baseline Page-Hinkley test (the adaptive-mean
+variant goes blind on standing errors -- the regression that motivated it),
+and the domain-novelty test with its margin and persistence discipline.
+"""
+
+import pytest
+
+from repro.lifecycle import DomainNoveltyDetector, PageHinkleyDetector, RollingErrorTracker
+
+
+class TestRollingErrorTracker:
+    def test_perfect_countdown_has_zero_signal(self):
+        tracker = RollingErrorTracker(window=4)
+        for step in range(10):
+            tracker.push(15.0 * step, 1000.0 - 15.0 * step)
+        assert tracker.rolling_mae == 0.0
+        assert tracker.rolling_mean == 0.0
+        assert tracker.drift_signal() == 0.0
+
+    def test_consistency_residual_is_the_forecast_revision(self):
+        tracker = RollingErrorTracker(window=4)
+        tracker.push(0.0, 1000.0)
+        residual = tracker.push(15.0, 785.0)  # revised 200s down beyond the countdown
+        assert residual == pytest.approx(-200.0)
+
+    def test_reference_gap_is_one_sided(self):
+        """Predicting *earlier* than the naive reference proves nothing."""
+        tracker = RollingErrorTracker(window=4)
+        for step in range(4):
+            tracker.push(15.0 * step, 500.0 - 15.0 * step, reference_ttf_seconds=2000.0)
+        assert tracker.rolling_reference_gap == 0.0
+        assert tracker.peak_reference_gap == 0.0
+
+    def test_reference_gap_tracks_optimism(self):
+        tracker = RollingErrorTracker(window=4)
+        for step in range(4):
+            tracker.push(
+                15.0 * step, 3000.0 - 15.0 * step, reference_ttf_seconds=1000.0 - 15.0 * step
+            )
+        assert tracker.rolling_reference_gap == pytest.approx(2000.0)
+        assert tracker.peak_reference_gap == pytest.approx(2000.0)
+
+    def test_drift_signal_excludes_the_reference_gap(self):
+        """The gap is an episode-exit witness, not a change-point trigger."""
+        tracker = RollingErrorTracker(window=4)
+        for step in range(6):
+            tracker.push(15.0 * step, 3000.0 - 15.0 * step, reference_ttf_seconds=500.0)
+        assert tracker.rolling_reference_gap > 0.0
+        assert tracker.drift_signal() == 0.0
+
+    def test_survival_overshoot_grows_past_the_implied_crash(self):
+        tracker = RollingErrorTracker(window=4)
+        tracker.push(0.0, 100.0)  # implies a crash at t=100
+        assert tracker.survival_overshoot == 0.0
+        tracker.push(150.0, 100.0)
+        assert tracker.survival_overshoot == pytest.approx(50.0)
+        assert tracker.drift_signal() >= 50.0
+
+    def test_reset_forgets_the_stream(self):
+        tracker = RollingErrorTracker(window=4)
+        tracker.push(0.0, 100.0)
+        tracker.push(200.0, 50.0, reference_ttf_seconds=10.0)
+        tracker.reset()
+        assert tracker.num_errors == 0
+        assert tracker.survival_overshoot == 0.0
+        assert tracker.rolling_reference_gap == 0.0
+        assert tracker.drift_signal() == 0.0
+
+    def test_rejects_degenerate_window(self):
+        with pytest.raises(ValueError, match="window"):
+            RollingErrorTracker(window=0)
+
+
+class TestPageHinkleyDetector:
+    def test_quiet_signal_never_fires(self):
+        detector = PageHinkleyDetector(delta=10.0, threshold=100.0, persistence=2)
+        assert not any(detector.update(5.0) for _ in range(500))
+        assert detector.statistic == 0.0
+
+    def test_standing_error_fires(self):
+        """The zero-baseline form must alarm on a *persistent* error.
+
+        An adaptive-mean Page-Hinkley absorbs a standing disagreement as the
+        new normal within a few marks and never alarms -- exactly the wrong
+        behaviour for a drifted model, which is persistently wrong.
+        """
+        detector = PageHinkleyDetector(delta=10.0, threshold=100.0, persistence=2)
+        fired_at = None
+        for update in range(1, 20):
+            if detector.update(60.0):
+                fired_at = update
+                break
+        # +50 per update; statistic exceeds 100 at update 3, persistence 2.
+        assert fired_at == 4
+
+    def test_persistence_filters_single_spikes(self):
+        detector = PageHinkleyDetector(delta=50.0, threshold=100.0, persistence=2)
+        assert not detector.update(200.0)  # over threshold, streak 1
+        assert detector.over_threshold_streak == 1
+        assert not detector.update(0.0)  # statistic decays by delta, streak resets
+        assert detector.over_threshold_streak == 0
+
+    def test_reset_rearms(self):
+        detector = PageHinkleyDetector(delta=10.0, threshold=100.0, persistence=1)
+        while not detector.update(60.0):
+            pass
+        detector.reset()
+        assert detector.statistic == 0.0
+        assert detector.num_updates == 0
+        assert not detector.update(5.0)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError, match="delta"):
+            PageHinkleyDetector(delta=-1.0, threshold=10.0)
+        with pytest.raises(ValueError, match="threshold"):
+            PageHinkleyDetector(delta=1.0, threshold=0.0)
+        with pytest.raises(ValueError, match="persistence"):
+            PageHinkleyDetector(delta=1.0, threshold=10.0, persistence=0)
+
+
+class TestDomainNoveltyDetector:
+    def test_in_domain_stays_quiet(self):
+        detector = DomainNoveltyDetector(
+            {"num_threads": 27.0}, margin_fraction=0.25, persistence=2
+        )
+        for _ in range(100):
+            assert not detector.update({"num_threads": 27.0})
+        assert detector.streak == 0
+
+    def test_margin_absorbs_wobble_around_the_training_range(self):
+        detector = DomainNoveltyDetector(
+            {"num_threads": 27.0}, margin_fraction=0.25, persistence=1
+        )
+        assert not detector.update({"num_threads": 33.0})  # below 27 * 1.25 = 33.75
+        assert detector.update({"num_threads": 34.0})
+        assert detector.novel_attribute == "num_threads"
+        assert detector.novel_value == 34.0
+
+    def test_persistence_requires_consecutive_marks(self):
+        detector = DomainNoveltyDetector(
+            {"num_threads": 27.0}, margin_fraction=0.25, persistence=2
+        )
+        assert not detector.update({"num_threads": 50.0})  # streak 1
+        assert not detector.update({"num_threads": 20.0})  # back in domain, streak resets
+        assert not detector.update({"num_threads": 50.0})  # streak 1 again
+        assert detector.update({"num_threads": 50.0})  # streak 2: confirmed
+
+    def test_checks_every_bounded_gauge(self):
+        detector = DomainNoveltyDetector(
+            {"old_used_mb": 200.0, "num_threads": 27.0}, margin_fraction=0.1, persistence=1
+        )
+        assert detector.update({"old_used_mb": 150.0, "num_threads": 40.0})
+        assert detector.novel_attribute == "num_threads"
+
+    def test_empty_bounds_disable_the_test(self):
+        detector = DomainNoveltyDetector({}, margin_fraction=0.25, persistence=1)
+        assert not detector.update({"num_threads": 1e9})
+
+    def test_reset_clears_the_streak(self):
+        detector = DomainNoveltyDetector(
+            {"num_threads": 27.0}, margin_fraction=0.25, persistence=3
+        )
+        detector.update({"num_threads": 50.0})
+        detector.update({"num_threads": 50.0})
+        detector.reset()
+        assert detector.streak == 0
+        assert not detector.update({"num_threads": 50.0})
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError, match="margin_fraction"):
+            DomainNoveltyDetector({}, margin_fraction=-0.1)
+        with pytest.raises(ValueError, match="persistence"):
+            DomainNoveltyDetector({}, margin_fraction=0.1, persistence=0)

@@ -1,0 +1,69 @@
+"""Challenger training and the promotion gate on real live windows."""
+
+import numpy as np
+import pytest
+
+from repro.lifecycle import pseudo_label_samples, train_challenger
+
+
+def live_window(morph_trace, config, newest: float):
+    """The freshest ``training_window`` marks ending at time ``newest``."""
+    samples = [s for s in morph_trace if s.time_seconds <= newest]
+    return samples[-config.training_window :]
+
+
+class TestPseudoLabels:
+    def test_labels_are_bounded_and_deterministic(self, morph_trace, lifecycle_config):
+        window = live_window(morph_trace, lifecycle_config, newest=1100.0)
+        labels = pseudo_label_samples(window, lifecycle_config)
+        assert labels.shape == (len(window),)
+        assert np.all(labels >= 0.0)
+        assert np.all(labels <= lifecycle_config.horizon_seconds)
+        assert np.array_equal(labels, pseudo_label_samples(window, lifecycle_config))
+
+    def test_post_morph_labels_track_the_thread_countdown(self, morph_trace, lifecycle_config):
+        """Once the thread regime is established the naive labels are close
+        to the truth (the crash lands at t=1230)."""
+        window = live_window(morph_trace, lifecycle_config, newest=1100.0)
+        labels = pseudo_label_samples(window, lifecycle_config)
+        newest = [
+            (sample.time_seconds, label)
+            for sample, label in zip(window, labels)
+            if sample.time_seconds >= 950.0
+        ]
+        crash = morph_trace.crash_time_seconds
+        errors = [abs((crash - time) - label) for time, label in newest]
+        assert newest and max(errors) < 300.0
+
+
+class TestPromotionGate:
+    def test_gate_rejects_a_challenger_no_better_than_the_champion(
+        self, static_champion, morph_trace, lifecycle_config
+    ):
+        """Promoting once must not cascade: a re-trained twin of the fresh
+        champion cannot clear the strict-improvement margin."""
+        window = live_window(morph_trace, lifecycle_config, newest=1100.0)
+        first, first_decision = train_challenger(
+            static_champion, window, [], lifecycle_config
+        )
+        assert first_decision.promote  # the stale champion loses on this window
+        second, second_decision = train_challenger(first, window, [], lifecycle_config)
+        assert not second_decision.promote
+        assert second_decision.challenger_mae >= (
+            lifecycle_config.gate_margin * second_decision.champion_mae
+        )
+
+    def test_gate_verdict_is_deterministic(self, static_champion, morph_trace, lifecycle_config):
+        window = live_window(morph_trace, lifecycle_config, newest=1100.0)
+        one, decision_one = train_challenger(static_champion, window, [], lifecycle_config)
+        two, decision_two = train_challenger(static_champion, window, [], lifecycle_config)
+        assert decision_one == decision_two
+        rows = np.array([[float(v) for v in row] for row in one.training_dataset.features])
+        assert np.array_equal(one.predict_dataset(one.training_dataset),
+                              two.predict_dataset(two.training_dataset))
+        assert rows.shape[0] == decision_one.training_rows
+
+    def test_too_small_window_is_refused(self, static_champion, morph_trace, lifecycle_config):
+        window = live_window(morph_trace, lifecycle_config, newest=1100.0)
+        with pytest.raises(ValueError):
+            train_challenger(static_champion, window[:4], [], lifecycle_config)

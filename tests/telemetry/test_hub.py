@@ -8,7 +8,16 @@ activate/active lifecycle the engines rely on.
 
 import pytest
 
-from repro.telemetry import ENGINE, PROFILE, SIM, Histogram, Telemetry, activate, active
+from repro.telemetry import (
+    ENGINE,
+    PROFILE,
+    SIM,
+    Histogram,
+    Telemetry,
+    activate,
+    active,
+    trace_digest,
+)
 
 
 class TestHistogram:
@@ -49,13 +58,38 @@ class TestTelemetry:
         assert telemetry.counters[(PROFILE, "sweep.point.calls")] == 2
         assert telemetry.counters[(PROFILE, "sweep.point.seconds")] == 2.0
 
-    def test_event_cap_counts_drops(self):
+    def test_event_cap_counts_drops_on_sidecar_channels(self):
         telemetry = Telemetry(max_events=2)
         for tick in range(5):
-            telemetry.event("mark", tick)
+            telemetry.event("mark", tick, channel=ENGINE)
         assert len(telemetry.events) == 2
         assert telemetry.dropped_events == 3
         assert telemetry.snapshot()["dropped_events"] == 3
+
+    def test_sim_events_are_never_dropped(self):
+        """The digest covers the sim channel, so the cap must not touch it.
+
+        A capped sim stream would let two identical runs emit different
+        digests with only a counter to show for it (the bug this pins).
+        """
+        telemetry = Telemetry(max_events=2)
+        for tick in range(5):
+            telemetry.event("mark", tick, channel=ENGINE)
+        for tick in range(5):
+            telemetry.event("decision", tick)
+        assert [event.kind for event in telemetry.events].count("decision") == 5
+        assert telemetry.dropped_events == 3
+
+    def test_digest_stable_across_sidecar_overflow(self):
+        """Equal sim streams digest equally however much engine noise drops."""
+        quiet, noisy = Telemetry(max_events=3), Telemetry(max_events=3)
+        for tick in range(50):
+            noisy.event("detail", tick, channel=ENGINE)
+        for telemetry in (quiet, noisy):
+            for tick in range(10):
+                telemetry.event("decision", tick, data={"tick": tick})
+        assert trace_digest(quiet) == trace_digest(noisy)
+        assert noisy.dropped_events > 0
 
     def test_snapshot_is_plain_data(self):
         telemetry = Telemetry()
