@@ -1,0 +1,111 @@
+"""Operate a million-browser, thousand-node fleet on the fluid engine tier.
+
+The exact engines simulate every emulated browser and every request; that
+fidelity caps them at fleets of a few hundred nodes.  The fluid tier keeps
+the same OS/JVM aging physics and the same policy stack (M5P forecasts,
+aging-aware routing, coordinated rolling restarts) but settles each node's
+traffic as a seeded Poisson aggregate over flat numpy arrays — so a fleet
+three orders of magnitude larger finishes in seconds, deterministically.
+
+The script runs the same one-hour scenario twice:
+
+1. no rejuvenation — the thousand-node fleet ages until nodes crash;
+2. rolling predictive — every node streams marks through the fitted M5P
+   predictor and alarmed nodes are drained and restarted under a
+   concurrent-restart budget.
+
+Pick the fleet size with::
+
+    python examples/fluid_fleet_scale.py [num_nodes] [total_ebs]
+
+At fast scales the fluid tier is validated against the exact engines in
+``tests/cluster/test_fluid_validation.py``; through the unified API the
+tier is one parameter::
+
+    repro run cluster --scale small -p engine=fluid
+"""
+
+import sys
+import time
+
+from repro.cluster.coordinator import NoClusterRejuvenation, RollingPredictiveRejuvenation
+from repro.cluster.fluid import FluidClusterEngine
+from repro.cluster.routing import AgingAwareRouting
+from repro.experiments.cluster import train_cluster_predictor
+from repro.experiments.scenarios import ClusterScenario
+
+HORIZON_SECONDS = 3600.0
+MAX_CONCURRENT_RESTARTS = 200
+
+
+def build_fleet(scenario, num_nodes, total_ebs, *, coordinator, predictor=None):
+    return FluidClusterEngine(
+        num_nodes=num_nodes,
+        config=scenario.config,
+        total_ebs=total_ebs,
+        injector_factory=scenario.injector_factory,
+        routing_policy=AgingAwareRouting(ttf_comfort_seconds=scenario.ttf_comfort_seconds),
+        coordinator=coordinator,
+        predictor=predictor,
+        alarm_threshold_seconds=scenario.alarm_threshold_seconds,
+        alarm_consecutive=scenario.alarm_consecutive,
+        drain_seconds=scenario.drain_seconds,
+        seed=scenario.cluster_seed,
+    )
+
+
+def main() -> None:
+    num_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    total_ebs = int(sys.argv[2]) if len(sys.argv) > 2 else 1_000_000
+    scenario = ClusterScenario.paper_scale()
+
+    print(
+        f"Fluid tier: {num_nodes} nodes x {total_ebs} emulated browsers x "
+        f"{HORIZON_SECONDS:.0f} simulated seconds\n"
+    )
+
+    started = time.perf_counter()
+    predictor = train_cluster_predictor(scenario)
+    print(f"M5P predictor trained on exact-engine runs in {time.perf_counter() - started:.1f}s\n")
+
+    outcomes = {}
+    for name, coordinator, fitted in (
+        ("no_rejuvenation", NoClusterRejuvenation(), None),
+        (
+            "rolling_predictive",
+            RollingPredictiveRejuvenation(
+                max_concurrent_restarts=MAX_CONCURRENT_RESTARTS,
+                min_active_fraction=scenario.min_active_fraction,
+            ),
+            predictor,
+        ),
+    ):
+        fleet = build_fleet(scenario, num_nodes, total_ebs, coordinator=coordinator, predictor=fitted)
+        started = time.perf_counter()
+        outcomes[name] = (fleet.run(HORIZON_SECONDS), time.perf_counter() - started)
+
+    header = f"{'strategy':22s}{'availability':>14s}{'crashes':>9s}{'restarts':>10s}{'wall clock':>12s}"
+    print(header)
+    print("-" * len(header))
+    for name, (outcome, seconds) in outcomes.items():
+        print(
+            f"{name:22s}{outcome.availability:>14.4f}{outcome.crashes:>9d}"
+            f"{outcome.rejuvenations:>10d}{seconds:>11.1f}s"
+        )
+
+    baseline, _ = outcomes["no_rejuvenation"]
+    predictive, predictive_seconds = outcomes["rolling_predictive"]
+    print(
+        f"\nPredictive rejuvenation lifted fleet availability from "
+        f"{baseline.availability:.4f} to {predictive.availability:.4f} "
+        f"({baseline.crashes} crashes avoided down to {predictive.crashes}); "
+        f"the one-hour, {num_nodes}-node run settled in {predictive_seconds:.1f}s of wall clock."
+    )
+    print(
+        "Re-running with the same seed reproduces these numbers byte-for-byte — "
+        "the fluid tier is deterministic by construction."
+    )
+
+
+if __name__ == "__main__":
+    main()

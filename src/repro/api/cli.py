@@ -56,7 +56,7 @@ from typing import Any, Sequence
 
 from repro.api.executor import PointOutcome, run_points
 from repro.api.registry import get_spec, list_experiments, match_experiments, run
-from repro.api.spec import ENGINES, SCALES
+from repro.api.spec import CLUSTER_ENGINES, ENGINES, SCALES
 from repro.api.store import ResultStore, collect_results, summary_json
 from repro.api.sweep import batch_points, expand_sweep
 from repro.telemetry import (
@@ -121,7 +121,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--engine",
         metavar="EXPR",
-        help=f"engine values, e.g. 'event' (choices: {', '.join(ENGINES)})",
+        help=f"engine values, e.g. 'event' (choices: {', '.join(ENGINES)}; "
+        "cluster also accepts 'fluid')",
     )
     sweep.add_argument(
         "-p",
@@ -169,7 +170,11 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     """The common spec parameters plus the -p escape hatch for extras."""
     parser.add_argument("--scale", choices=SCALES, help="testbed scale (default: spec default)")
     parser.add_argument("--seed", type=int, help="master seed (default: spec default)")
-    parser.add_argument("--engine", choices=ENGINES, help="simulation engine (default: event)")
+    parser.add_argument(
+        "--engine",
+        choices=CLUSTER_ENGINES,
+        help="simulation engine (default: event; 'fluid' is cluster-only)",
+    )
     parser.add_argument(
         "-p",
         "--param",

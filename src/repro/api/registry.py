@@ -31,7 +31,7 @@ from typing import Any, Callable
 
 import repro
 from repro.api.result import RunResult
-from repro.api.spec import ExperimentSpec, ParamSpec, common_params
+from repro.api.spec import CLUSTER_ENGINES, ExperimentSpec, ParamSpec, common_params
 from repro.core.evaluation import PredictionEvaluation
 from repro.experiments.ablations import (
     run_derived_variable_ablation,
@@ -382,8 +382,17 @@ def _run_lifecycle(
 # --------------------------------------------------------------------------
 
 
-def _run_cluster(scale: str, seed: int, engine: str, kind: str, lifecycle: bool) -> Payload:
+def _run_cluster(
+    scale: str,
+    seed: int,
+    engine: str,
+    kind: str,
+    lifecycle: bool,
+    horizon_seconds: float,
+) -> Payload:
     scenario = replace(_cluster_scenario(scale, seed, kind), lifecycle=lifecycle)
+    if horizon_seconds > 0.0:
+        scenario = replace(scenario, horizon_seconds=horizon_seconds)
     result = run_cluster_experiment(scenario, engine=engine)
     metrics: dict[str, Any] = {
         "time_based_interval_seconds": result.time_based_interval_seconds,
@@ -431,10 +440,17 @@ def _spec(
     extra: tuple[ParamSpec, ...] = (),
     seed: int = 2010,
     seed_description: str | None = None,
+    engine_choices: tuple[str, ...] | None = None,
+    engine_description: str | None = None,
 ) -> ExperimentSpec:
     params = common_params(seed)
     if seed_description is not None:
         params = (params[0], replace(params[1], description=seed_description)) + params[2:]
+    if engine_choices is not None:
+        engine = replace(params[2], choices=engine_choices)
+        if engine_description is not None:
+            engine = replace(engine, description=engine_description)
+        params = params[:2] + (engine,) + params[3:]
     return register(
         ExperimentSpec(
             name=name,
@@ -595,10 +611,24 @@ _spec(
                 "lifecycle (drift detection plus champion/challenger retraining)"
             ),
         ),
+        ParamSpec(
+            name="horizon_seconds",
+            type="float",
+            default=0.0,
+            description=(
+                "operate the fleet for this many seconds; 0 keeps the scenario's "
+                "own horizon (2 h fast, 12 h paper-scale)"
+            ),
+        ),
     ),
     seed=7,
     seed_description=(
         "master seed of the fleet operation run (workload stream and node seeds); "
         "the predictor's historical training runs keep the scenario's fixed seeds"
+    ),
+    engine_choices=CLUSTER_ENGINES,
+    engine_description=(
+        "fleet settlement tier: exact event-driven, per-second reference, or the "
+        "approximate numpy fluid tier for million-user / thousand-node fleets"
     ),
 )

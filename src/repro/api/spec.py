@@ -21,7 +21,9 @@ Every spec shares three common parameters:
 ``engine``
     ``"event"`` (the fast unified event-driven scheduler, the default) or
     ``"per_second"`` (the retained tick-everything reference).  Both produce
-    identical seeded traces.
+    identical seeded traces.  The ``cluster`` spec additionally accepts
+    ``"fluid"``, the approximate numpy mean-field fleet tier for
+    million-user / thousand-node runs.
 """
 
 from __future__ import annotations
@@ -29,13 +31,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["ParamSpec", "ExperimentSpec", "common_params", "SCALES", "ENGINES"]
+__all__ = [
+    "ParamSpec",
+    "ExperimentSpec",
+    "common_params",
+    "SCALES",
+    "ENGINES",
+    "CLUSTER_ENGINES",
+]
 
 #: The two testbed scales every experiment accepts.
 SCALES = ("small", "paper")
 
 #: The two simulation engines every experiment accepts.
 ENGINES = ("event", "per_second")
+
+#: The cluster experiment also offers the approximate fluid fleet tier.
+CLUSTER_ENGINES = ("event", "per_second", "fluid")
 
 _PARAM_TYPES: dict[str, type] = {"int": int, "float": float, "str": str, "bool": bool}
 

@@ -26,6 +26,11 @@ the reproduction to that setting:
     (default -- advances the fleet between interesting events) and the
     tick-everything ``PerSecondClusterEngine`` reference it reproduces
     bit-for-bit on seeded runs.
+``repro.cluster.fluid``
+    The approximate third tier: ``FluidClusterEngine`` settles the whole
+    fleet as numpy arrays (mean-field browsers, mask-based lifecycle) for
+    million-user / thousand-node scenarios, validated against the exact
+    engines on overlapping scales.
 ``repro.cluster.timeline``
     The exact tick arithmetic the event-driven machinery schedules with.
 ``repro.cluster.status``
@@ -41,6 +46,7 @@ from repro.cluster.coordinator import (
     UncoordinatedTimeBasedRejuvenation,
 )
 from repro.cluster.engine import ClusterEngine, PerSecondClusterEngine
+from repro.cluster.fluid import FluidClusterEngine
 from repro.cluster.node import ClusterNode, InjectorFactory, NodeState
 from repro.cluster.routing import (
     AgingAwareRouting,
@@ -53,6 +59,7 @@ from repro.cluster.status import ClusterOutcome, FleetStatus, NodeOutcome
 __all__ = [
     "AgingAwareRouting",
     "ClusterEngine",
+    "FluidClusterEngine",
     "ClusterNode",
     "ClusterOutcome",
     "ClusterRejuvenationCoordinator",

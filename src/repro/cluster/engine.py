@@ -215,7 +215,7 @@ class ClusterEngine:
 
     # ------------------------------------------------------------------- run
 
-    def run(self, max_seconds: float = 4 * 3600.0) -> ClusterOutcome:
+    def run(self, max_seconds: float) -> ClusterOutcome:
         """Operate the fleet for ``max_seconds`` and return the outcome.
 
         Unlike a single-server run the cluster never "ends with the crash":
@@ -531,7 +531,7 @@ class PerSecondClusterEngine(ClusterEngine):
     coordinators or injectors that violate the event-stability contract).
     """
 
-    def run(self, max_seconds: float = 4 * 3600.0) -> ClusterOutcome:
+    def run(self, max_seconds: float) -> ClusterOutcome:
         self._check_single_use(max_seconds)
         tick = self.config.tick_seconds
         while self.clock.now < max_seconds:

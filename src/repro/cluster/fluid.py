@@ -1,0 +1,469 @@
+"""Fluid cluster engine: whole-fleet mask updates behind the exact contract.
+
+``FluidClusterEngine`` operates the same scenario surface as the exact
+:class:`~repro.cluster.engine.ClusterEngine` -- same constructor keywords,
+same ``run(max_seconds) -> ClusterOutcome`` contract, same coordinator /
+routing-policy objects -- but replaces every per-browser and per-node Python
+loop with per-tick numpy array operations over the entire fleet:
+
+* the browser population becomes a per-node Poisson arrival draw whose rate
+  is the closed-loop ``assigned_ebs / (think + response)`` form,
+* node settlement (GC, leaks, footprint, load, marks) is one
+  :class:`~repro.testbed.fluid.FluidFleet` step per tick,
+* routing is an allocation *vector* recomputed only when membership or
+  weights change (round-robin and least-connections collapse to the even
+  split they converge to; aging-aware uses the frozen per-mark weights),
+* crash and rejuvenation lifecycle are int8 state-mask updates, and
+* the M5P feature pipeline runs through the vectorized
+  :class:`~repro.testbed.fluid.FluidFeatureBank` plus one batch
+  ``AgingPredictor.predict_matrix`` call per mark.
+
+Accuracy contract: aggregate, not bit-for-bit -- the validation harness
+(``tests/cluster/test_fluid_validation.py``) pins availability, crash counts
+and uptime-per-crash against the exact engines on overlapping scales.
+Determinism contract: seeded runs are byte-identical across repeats and
+worker settings (one ``PCG64`` stream consumed in fixed per-tick order), but
+the stream is tier-specific: telemetry digests of fluid runs are stable yet
+deliberately *not* comparable to the exact engines' digests.
+
+Unsupported pieces fail loudly instead of approximating silently: custom
+routing policies, custom coordinators, lifecycle-managed monitors
+(``monitor_factory``) and non-paper fault injectors all raise ``ValueError``
+pointing back at the exact tiers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.balancer import LoadBalancer
+from repro.cluster.coordinator import (
+    ClusterRejuvenationCoordinator,
+    NoClusterRejuvenation,
+    RollingPredictiveRejuvenation,
+    UncoordinatedTimeBasedRejuvenation,
+)
+from repro.cluster.engine import _NODE_SEED_STRIDE
+from repro.cluster.node import InjectorFactory, MonitorFactory
+from repro.cluster.routing import (
+    AgingAwareRouting,
+    LeastConnectionsRouting,
+    RoundRobinRouting,
+    RoutingPolicy,
+)
+from repro.cluster.status import ClusterOutcome, FleetStatus, NodeOutcome
+from repro.core.predictor import AgingPredictor
+from repro.testbed.config import TestbedConfig
+from repro.testbed.fluid import FluidFeatureBank, FluidFleet, leak_rates_from_injectors, mix_stats
+from repro.testbed.timeline import first_tick_at_or_after
+from repro.testbed.tpcw.workload import WorkloadMix
+from repro.telemetry import runtime as telemetry_runtime
+
+__all__ = ["FluidClusterEngine"]
+
+#: Node lifecycle states as int8 mask values (mirrors ``NodeState``).
+_ACTIVE, _DRAINING, _RESTARTING = 0, 1, 2
+
+#: Per-node telemetry gauges are emitted only for fleets up to this width;
+#: above it the sim channel keeps fleet aggregates and lifecycle events only
+#: (documented tier granularity -- a 1000-node run must not emit 4000 gauges).
+_PER_NODE_GAUGE_CAP = 64
+
+
+def _largest_remainder(weights: np.ndarray, node_ids: np.ndarray, total: int) -> np.ndarray:
+    """Vectorized twin of ``LoadBalancer.allocations`` for the candidates.
+
+    Shares ``total`` proportionally to ``weights`` with largest-remainder
+    rounding; leftover units go to the largest fractional parts, ties broken
+    toward smaller node ids (the balancer sorts by ``(fraction, -node_id)``
+    descending).
+    """
+    total_weight = float(weights.sum())
+    if total_weight <= 0.0:
+        weights = np.ones_like(weights)
+        total_weight = float(weights.size)
+    quotas = total * weights / total_weight
+    floors = np.floor(quotas).astype(np.int64)
+    remainder = int(total - floors.sum())
+    if remainder > 0:
+        order = np.lexsort((node_ids, -(quotas - floors)))
+        floors[order[:remainder]] += 1
+    return floors
+
+
+class FluidClusterEngine:
+    """Aggregate (mean-field) fleet engine; see the module docstring.
+
+    Constructor keywords match :class:`~repro.cluster.engine.ClusterEngine`
+    so :func:`repro.experiments.cluster.run_cluster_policy` can swap engines
+    behind one scenario description.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 3,
+        config: TestbedConfig | None = None,
+        total_ebs: int = 120,
+        injector_factory: InjectorFactory | None = None,
+        routing_policy: RoutingPolicy | None = None,
+        coordinator: ClusterRejuvenationCoordinator | None = None,
+        predictor: AgingPredictor | None = None,
+        monitor_factory: MonitorFactory | None = None,
+        alarm_threshold_seconds: float = 600.0,
+        alarm_consecutive: int = 2,
+        drain_seconds: float = 30.0,
+        rejuvenation_downtime_seconds: float = 120.0,
+        crash_downtime_seconds: float = 900.0,
+        dropped_request_penalty_s: float = 3.0,
+        mix: WorkloadMix = WorkloadMix.SHOPPING,
+        seed: int = 0,
+        node_configs: Sequence[TestbedConfig] | None = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        if total_ebs < 1:
+            raise ValueError("total_ebs must be at least 1")
+        if dropped_request_penalty_s <= 0:
+            raise ValueError("dropped_request_penalty_s must be positive")
+        if monitor_factory is not None:
+            raise ValueError(
+                "fluid tier does not support lifecycle-managed monitors "
+                "(monitor_factory / lifecycle=true); use engine='event'"
+            )
+        self.config = config if config is not None else TestbedConfig()
+        if node_configs is not None:
+            node_configs = list(node_configs)
+            if len(node_configs) != num_nodes:
+                raise ValueError(f"node_configs must provide one configuration per node ({num_nodes})")
+            for node_config in node_configs:
+                if node_config.tick_seconds != self.config.tick_seconds:
+                    raise ValueError("every node must share the cluster's tick_seconds")
+        self.num_nodes = num_nodes
+        self.node_configs = node_configs
+        self.total_ebs = total_ebs
+        self.seed = seed
+        self.mix = mix
+        self.predictor = predictor
+        self.alarm_threshold_seconds = float(alarm_threshold_seconds)
+        self.alarm_consecutive = int(alarm_consecutive)
+        self.drain_seconds = float(drain_seconds)
+        self.rejuvenation_downtime_seconds = float(rejuvenation_downtime_seconds)
+        self.crash_downtime_seconds = float(crash_downtime_seconds)
+        self.dropped_request_penalty_s = float(dropped_request_penalty_s)
+
+        self.balancer = LoadBalancer(routing_policy)
+        policy = self.balancer.policy
+        if isinstance(policy, AgingAwareRouting):
+            self._aging_routing: AgingAwareRouting | None = policy
+        elif isinstance(policy, (RoundRobinRouting, LeastConnectionsRouting)):
+            # Both are work-conserving over identical nodes: their stationary
+            # allocation is the even split the weight vector already encodes.
+            self._aging_routing = None
+        else:
+            raise ValueError(
+                f"fluid tier has no closed form for routing policy {type(policy).__name__}; "
+                "use engine='event' or 'per_second'"
+            )
+        self.coordinator = coordinator if coordinator is not None else NoClusterRejuvenation()
+        if not isinstance(
+            self.coordinator,
+            (NoClusterRejuvenation, UncoordinatedTimeBasedRejuvenation, RollingPredictiveRejuvenation),
+        ):
+            raise ValueError(
+                f"fluid tier has no closed form for coordinator {type(self.coordinator).__name__}; "
+                "use engine='event' or 'per_second'"
+            )
+
+        configs = list(node_configs) if node_configs is not None else [self.config] * num_nodes
+        factory: InjectorFactory = injector_factory if injector_factory is not None else (lambda _seed: [])
+        stats = mix_stats(mix)
+        rates = [
+            leak_rates_from_injectors(factory(seed + _NODE_SEED_STRIDE * (node_id + 1)), stats)
+            for node_id in range(num_nodes)
+        ]
+        self.fleet = FluidFleet(configs, rates, mix)
+        self.status = FleetStatus(num_nodes)
+        self.telemetry = telemetry_runtime.active()
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "run_begin",
+                0,
+                run="fleet",
+                data={"nodes": num_nodes, "total_ebs": total_ebs, "seed": seed, "tier": "fluid"},
+            )
+        self._finished = False
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, max_seconds: float) -> ClusterOutcome:
+        """Operate the fleet for ``max_seconds`` and return the outcome."""
+        if max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+        if self._finished:
+            raise RuntimeError("this cluster engine has already been run; create a new one")
+        self._finished = True
+
+        n = self.num_nodes
+        tick = self.config.tick_seconds
+        final_tick = first_tick_at_or_after(max_seconds, tick)
+        mark_ticks = max(1, first_tick_at_or_after(self.config.monitoring_interval_s, tick))
+        drain_ticks = max(1, first_tick_at_or_after(self.drain_seconds, tick))
+        rejuvenation_ticks = max(1, first_tick_at_or_after(self.rejuvenation_downtime_seconds, tick))
+        crash_ticks = max(1, first_tick_at_or_after(self.crash_downtime_seconds, tick))
+        rng = np.random.Generator(np.random.PCG64(self.seed))
+        ids = np.arange(n)
+
+        time_based = (
+            self.coordinator if isinstance(self.coordinator, UncoordinatedTimeBasedRejuvenation) else None
+        )
+        rolling = (
+            self.coordinator if isinstance(self.coordinator, RollingPredictiveRejuvenation) else None
+        )
+        interval_ticks = (
+            max(1, first_tick_at_or_after(time_based.interval_seconds, tick)) if time_based else 0
+        )
+        uses_marks = self.predictor is not None or self._aging_routing is not None or rolling is not None
+        bank = FluidFeatureBank(n) if self.predictor is not None else None
+
+        # Lifecycle masks and per-node accounting.
+        state = np.zeros(n, dtype=np.int8)
+        planned = np.zeros(n, dtype=bool)
+        transition_tick = np.full(n, -1, dtype=np.int64)
+        incarnation_tick = np.zeros(n, dtype=np.int64)
+        next_mark = np.full(n, mark_ticks, dtype=np.int64)
+        uptime = np.zeros(n)
+        planned_down = np.zeros(n)
+        unplanned_down = np.zeros(n)
+        crashes = np.zeros(n, dtype=np.int64)
+        rejuvenations = np.zeros(n, dtype=np.int64)
+        served_node = np.zeros(n, dtype=np.int64)
+        predicted = np.full(n, np.inf)
+        streak = np.zeros(n, dtype=np.int64)
+        alarm = np.zeros(n, dtype=bool)
+        weights = np.ones(n)
+        allocation = np.zeros(n, dtype=np.int64)
+        allocation_dirty = True
+        decision_dirty = True
+
+        think = self.config.mean_think_time_s
+        outage_rate = self.total_ebs / (think + self.dropped_request_penalty_s)
+
+        for tick_index in range(1, final_tick + 1):
+            # ----- lifecycle transitions due this tick
+            due = transition_tick == tick_index
+            if due.any():
+                ending_drain = due & (state == _DRAINING)
+                rejoining = due & (state == _RESTARTING)
+                if ending_drain.any():
+                    state[ending_drain] = _RESTARTING
+                    transition_tick[ending_drain] = tick_index + rejuvenation_ticks
+                    rejuvenations[ending_drain] += 1
+                    self._emit_lifecycle("restart_begin", tick_index, ending_drain)
+                if rejoining.any():
+                    state[rejoining] = _ACTIVE
+                    planned[rejoining] = False
+                    transition_tick[rejoining] = -1
+                    incarnation_tick[rejoining] = tick_index
+                    next_mark[rejoining] = tick_index + mark_ticks
+                    predicted[rejoining] = np.inf
+                    streak[rejoining] = 0
+                    alarm[rejoining] = False
+                    weights[rejoining] = 1.0
+                    self.fleet.reset(rejoining)
+                    if bank is not None:
+                        bank.reset(rejoining)
+                    self._emit_lifecycle("node_rejoin", tick_index, rejoining)
+                    allocation_dirty = decision_dirty = True
+
+            # ----- coordinator decisions
+            drain_now = np.zeros(n, dtype=bool)
+            if time_based is not None:
+                drain_now = (state == _ACTIVE) & (tick_index - incarnation_tick >= interval_ticks)
+            elif rolling is not None and decision_dirty:
+                decision_dirty = False
+                budget = rolling.max_concurrent_restarts - int(planned.sum())
+                if budget > 0:
+                    floor = rolling.min_active_nodes(n)
+                    active = int((state == _ACTIVE).sum())
+                    alarmed = ids[(state == _ACTIVE) & alarm]
+                    if alarmed.size:
+                        # Most urgent first, node id breaking forecast ties.
+                        alarmed = alarmed[np.lexsort((alarmed, predicted[alarmed]))]
+                        for node_id in alarmed:
+                            if budget <= 0 or active - 1 < floor:
+                                break
+                            drain_now[node_id] = True
+                            budget -= 1
+                            active -= 1
+            if drain_now.any():
+                state[drain_now] = _DRAINING
+                planned[drain_now] = True
+                transition_tick[drain_now] = tick_index + drain_ticks
+                self._emit_lifecycle("drain_begin", tick_index, drain_now)
+                allocation_dirty = True
+
+            # ----- allocation vector (recomputed only when inputs moved)
+            if allocation_dirty:
+                allocation_dirty = False
+                accepting = state == _ACTIVE
+                allocation = np.zeros(n, dtype=np.int64)
+                if accepting.any():
+                    allocation[accepting] = _largest_remainder(
+                        weights[accepting], ids[accepting], self.total_ebs
+                    )
+
+            # ----- arrivals: one vectorized Poisson draw for the whole fleet
+            live = state != _RESTARTING
+            lam = self.fleet.arrival_rate(allocation.astype(float)) * tick
+            arrivals = rng.poisson(lam).astype(float)
+            if not (state == _ACTIVE).any():
+                dropped = int(rng.poisson(outage_rate * tick))
+            else:
+                dropped = 0
+
+            # ----- physics settlement and crash masks
+            crashed = self.fleet.step(live, arrivals, tick)
+            served_tick = int(arrivals.sum())
+            served_node += arrivals.astype(np.int64)
+            if crashed.any():
+                crashes[crashed] += 1
+                state[crashed] = _RESTARTING
+                planned[crashed] = False
+                transition_tick[crashed] = tick_index + crash_ticks
+                self._emit_lifecycle("node_crash", tick_index, crashed)
+                allocation_dirty = decision_dirty = True
+                live = state != _RESTARTING
+
+            # ----- monitoring marks: vectorized features, one batch predict
+            if uses_marks:
+                marking = live & (next_mark == tick_index)
+                if marking.any():
+                    raw = self.fleet.sample_fields(marking, mark_ticks * tick, allocation)
+                    if bank is not None and self.predictor is not None:
+                        due_idx = ids[marking]
+                        rows = bank.push(due_idx, tick_index * tick, raw)
+                        forecasts = self.predictor.predict_matrix(rows)
+                        predicted[due_idx] = forecasts
+                        raised = forecasts <= self.alarm_threshold_seconds
+                        streak[due_idx] = np.where(raised, streak[due_idx] + 1, 0)
+                        alarm[due_idx] |= streak[due_idx] >= self.alarm_consecutive
+                        if self._aging_routing is not None:
+                            policy = self._aging_routing
+                            weights[due_idx] = np.clip(
+                                forecasts / policy.ttf_comfort_seconds, policy.shed_floor, 1.0
+                            )
+                            allocation_dirty = True
+                        decision_dirty = True
+                    next_mark[marking] += mark_ticks
+            elif (next_mark <= tick_index).any():
+                # No consumer of marks: still drain accumulators on cadence so
+                # a later consumer change cannot silently alter rates.
+                marking = live & (next_mark == tick_index)
+                if marking.any():
+                    self.fleet.sample_fields(marking, mark_ticks * tick, allocation)
+                    next_mark[marking] += mark_ticks
+
+            # ----- accounting
+            active_count = int((state == _ACTIVE).sum())
+            self.status.record_tick(tick, active_count, served_tick, dropped)
+            uptime[live] += tick
+            down = ~live
+            planned_down[down & planned] += tick
+            unplanned_down[down & ~planned] += tick
+
+        outcome = self._build_outcome(uptime, planned_down, unplanned_down, crashes, rejuvenations, served_node)
+        self._telemetry_finalize(outcome, final_tick)
+        return outcome
+
+    # ------------------------------------------------------------- assembly
+
+    def _build_outcome(
+        self,
+        uptime: np.ndarray,
+        planned_down: np.ndarray,
+        unplanned_down: np.ndarray,
+        crashes: np.ndarray,
+        rejuvenations: np.ndarray,
+        served_node: np.ndarray,
+    ) -> ClusterOutcome:
+        per_node = []
+        for node_id in range(self.num_nodes):
+            total = uptime[node_id] + planned_down[node_id] + unplanned_down[node_id]
+            per_node.append(
+                NodeOutcome(
+                    node_id=node_id,
+                    uptime_seconds=float(uptime[node_id]),
+                    planned_downtime_seconds=float(planned_down[node_id]),
+                    unplanned_downtime_seconds=float(unplanned_down[node_id]),
+                    crashes=int(crashes[node_id]),
+                    rejuvenations=int(rejuvenations[node_id]),
+                    requests_served=int(served_node[node_id]),
+                    availability=float(uptime[node_id] / total) if total > 0 else 1.0,
+                )
+            )
+        status = self.status
+        return ClusterOutcome(
+            routing_description=self.balancer.policy.describe(),
+            coordinator_description=self.coordinator.describe(),
+            num_nodes=self.num_nodes,
+            horizon_seconds=status.horizon_seconds,
+            capacity_node_seconds=status.capacity_node_seconds,
+            full_outage_seconds=status.full_outage_seconds,
+            degraded_seconds=status.degraded_seconds,
+            min_active_nodes=status.min_active_nodes,
+            served_requests=status.served_requests,
+            dropped_requests=status.dropped_requests,
+            crashes=int(crashes.sum()),
+            rejuvenations=int(rejuvenations.sum()),
+            planned_downtime_seconds=float(planned_down.sum()),
+            unplanned_downtime_seconds=float(unplanned_down.sum()),
+            per_node=tuple(per_node),
+        )
+
+    # ------------------------------------------------------------ telemetry
+
+    def _emit_lifecycle(self, kind: str, tick_index: int, mask: np.ndarray) -> None:
+        """One sim-channel event per affected node (bounded by lifecycle churn)."""
+        if self.telemetry is None:
+            return
+        for node_id in np.flatnonzero(mask):
+            self.telemetry.event(kind, tick_index, run=f"n{node_id}", data={"tier": "fluid"})
+
+    def _telemetry_finalize(self, outcome: ClusterOutcome, final_tick: int) -> None:
+        """Fleet gauges plus ``run_end``; per-node gauges only for narrow fleets."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        telemetry.gauge("cluster.served_requests", outcome.served_requests)
+        telemetry.gauge("cluster.dropped_requests", outcome.dropped_requests)
+        telemetry.gauge("cluster.crashes", outcome.crashes)
+        telemetry.gauge("cluster.rejuvenations", outcome.rejuvenations)
+        telemetry.gauge("cluster.availability", outcome.availability)
+        telemetry.gauge("cluster.full_outage_seconds", outcome.full_outage_seconds)
+        telemetry.gauge("cluster.degraded_seconds", outcome.degraded_seconds)
+        telemetry.gauge("cluster.min_active_nodes", outcome.min_active_nodes)
+        if self.num_nodes <= _PER_NODE_GAUGE_CAP:
+            for node in outcome.per_node:
+                telemetry.gauge(f"node.n{node.node_id}.requests_served", node.requests_served)
+                telemetry.gauge(f"node.n{node.node_id}.uptime_seconds", node.uptime_seconds)
+                telemetry.gauge(f"node.n{node.node_id}.crashes", node.crashes)
+                telemetry.gauge(f"node.n{node.node_id}.rejuvenations", node.rejuvenations)
+        telemetry.event(
+            "run_end",
+            final_tick,
+            run="fleet",
+            data={
+                "served": outcome.served_requests,
+                "dropped": outcome.dropped_requests,
+                "crashes": outcome.crashes,
+                "rejuvenations": outcome.rejuvenations,
+            },
+        )
+
+    def describe(self) -> str:
+        return (
+            f"FluidClusterEngine({self.num_nodes} nodes, {self.total_ebs} EBs, "
+            f"{self.balancer.describe()}, {self.coordinator.describe()})"
+        )

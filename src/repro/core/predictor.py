@@ -172,6 +172,29 @@ class AgingPredictor:
             predictions = np.clip(predictions, 0.0, self.infinite_ttf)
         return float(predictions[0])
 
+    def predict_matrix(self, rows: np.ndarray) -> np.ndarray:
+        """Predict the time to failure of a batch of catalogue-ordered rows.
+
+        The vectorized twin of :meth:`predict_row`: ``rows`` is a
+        ``[marks, features]`` matrix in full catalogue order (one row per
+        node or per mark), feature selection and clipping apply exactly as
+        in :meth:`predict_trace`.  The fluid cluster engine predicts every
+        due node's mark through this in one call.
+        """
+        model = self._require_fitted()
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2:
+            raise ValueError("rows must be a 2-D [marks, features] matrix")
+        if self.requested_features is not None:
+            if self._selected_indices is None:
+                names = self._catalog.feature_names
+                self._selected_indices = [names.index(name) for name in self._selected_names]
+            rows = rows[:, self._selected_indices]
+        predictions = model.predict(rows)
+        if self.clip_predictions:
+            predictions = np.clip(predictions, 0.0, self.infinite_ttf)
+        return predictions
+
     def predict_dataset(self, dataset: AgingDataset) -> np.ndarray:
         """Predict the targets of a pre-built dataset (column-aligned)."""
         model = self._require_fitted()

@@ -34,7 +34,8 @@ from repro.cluster.coordinator import (
     RollingPredictiveRejuvenation,
     UncoordinatedTimeBasedRejuvenation,
 )
-from repro.cluster.engine import ClusterEngine
+from repro.cluster.engine import ClusterEngine, PerSecondClusterEngine
+from repro.cluster.fluid import FluidClusterEngine
 from repro.cluster.routing import AgingAwareRouting, RoutingPolicy
 from repro.cluster.status import ClusterOutcome
 from repro.cluster.node import MonitorFactory
@@ -210,9 +211,22 @@ def run_cluster_policy(
     routing_policy: RoutingPolicy | None = None,
     predictor: AgingPredictor | None = None,
     monitor_factory: MonitorFactory | None = None,
+    fleet_engine: str = "event",
 ) -> ClusterOutcome:
-    """Operate one fleet configuration over the scenario horizon."""
-    engine = ClusterEngine(
+    """Operate one fleet configuration over the scenario horizon.
+
+    ``fleet_engine`` selects the cluster engine tier: ``"event"`` (exact,
+    default), ``"per_second"`` (exact tick-everything reference) or
+    ``"fluid"`` (approximate numpy mean-field tier for wide fleets).
+    """
+    if fleet_engine not in ("event", "per_second", "fluid"):
+        raise ValueError(f"unknown fleet engine {fleet_engine!r}")
+    engine_cls = {
+        "event": ClusterEngine,
+        "per_second": PerSecondClusterEngine,
+        "fluid": FluidClusterEngine,
+    }[fleet_engine]
+    engine = engine_cls(
         num_nodes=scenario.num_nodes,
         config=scenario.config,
         node_configs=scenario.node_configs,
@@ -244,20 +258,39 @@ def run_cluster_experiment(
     function remains as the underlying driver.  ``training`` and
     ``predictor`` may be supplied to reuse already computed runs (the tests
     share them across fixtures); both are regenerated from the scenario when
-    omitted.  ``engine`` selects the single-server engine of the generated
-    training runs (the fleet itself always runs the event-driven
-    ``ClusterEngine``).
+    omitted.
+
+    ``engine`` selects the simulation tier.  ``"event"`` and
+    ``"per_second"`` pick the single-server engine of the generated training
+    runs while the fleet itself runs the exact event-driven
+    ``ClusterEngine`` (their sim-channel telemetry digests agree --
+    engine-invariant).  ``"fluid"`` runs the three fleets on the
+    approximate numpy :class:`~repro.cluster.fluid.FluidClusterEngine`
+    (training traces still come from the exact event engine); fluid
+    outcomes match the exact aggregates within the validation bounds but
+    are not bit-identical to them.
     """
+    if engine not in ("event", "per_second", "fluid"):
+        raise ValueError(f"unknown engine {engine!r}")
     active = scenario if scenario is not None else ClusterScenario.paper_scale()
+    fleet_engine = "fluid" if engine == "fluid" else "event"
+    training_engine = "event" if engine == "fluid" else engine
+    if active.lifecycle and fleet_engine == "fluid":
+        raise ValueError(
+            "lifecycle-managed monitors are not supported by the fluid tier; "
+            "use engine='event' or 'per_second' with lifecycle=true"
+        )
 
     if training is None:
-        training = generate_cluster_training_traces(active, engine=engine)
+        training = generate_cluster_training_traces(active, engine=training_engine)
     if predictor is None:
         predictor = train_cluster_predictor(active, training)
     interval = derive_time_based_interval(active, training)
 
-    no_rejuvenation = run_cluster_policy(active, NoClusterRejuvenation())
-    time_based = run_cluster_policy(active, UncoordinatedTimeBasedRejuvenation(interval))
+    no_rejuvenation = run_cluster_policy(active, NoClusterRejuvenation(), fleet_engine=fleet_engine)
+    time_based = run_cluster_policy(
+        active, UncoordinatedTimeBasedRejuvenation(interval), fleet_engine=fleet_engine
+    )
     # scenario.lifecycle swaps the predictive policy's per-incarnation
     # monitors for node-local lifecycle managers; the stationary scenarios
     # never fire the drift test, so outcomes must not change (pinned by the
@@ -271,6 +304,7 @@ def run_cluster_experiment(
         routing_policy=AgingAwareRouting(ttf_comfort_seconds=active.ttf_comfort_seconds),
         predictor=None if active.lifecycle else predictor,
         monitor_factory=lifecycle_monitor_factory(active, predictor) if active.lifecycle else None,
+        fleet_engine=fleet_engine,
     )
     return ClusterExperimentResult(
         no_rejuvenation=no_rejuvenation,

@@ -11,7 +11,13 @@ contract honest:
     Engine-invariant semantic telemetry (crashes, monitoring marks, node
     lifecycle, forecast refreshes, request totals).  The ``telemetry_digest``
     is the sha256 of exactly these lines, so the event-driven and per-second
-    engines produce *equal digests* for the same seeded run.
+    engines produce *equal digests* for the same seeded run.  The fluid
+    cluster tier emits ``sim`` events at its own (aggregate) granularity and
+    tags them ``tier: fluid``: fluid digests are stable across repeats and
+    worker counts, and comparable to *other fluid runs* of the same seeded
+    scenario -- but never to exact-engine digests, because the approximate
+    tier neither replays per-request randomness nor samples per-node gauges
+    above its per-node cap.
 ``engine``
     Deterministic but engine-specific mechanics (wake counts, fast-forward
     gap histograms, settlement batch sizes, coordinator deferrals).  Present

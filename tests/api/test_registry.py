@@ -132,6 +132,33 @@ class TestSpecResolution:
         assert "training" in seed_param.description
 
 
+class TestClusterEngineTiers:
+    """The cluster spec's fluid tier and first-class horizon parameter."""
+
+    def test_cluster_engine_choices_include_fluid(self):
+        from repro.api.spec import CLUSTER_ENGINES
+
+        engine_param = api.get_spec("cluster").param("engine")
+        assert engine_param.choices == CLUSTER_ENGINES
+        assert "fluid" in engine_param.choices
+
+    def test_fluid_is_cluster_only(self):
+        for name in api.list_experiments():
+            if name == "cluster":
+                continue
+            engine_param = api.get_spec(name).param("engine")
+            assert "fluid" not in engine_param.choices, name
+        with pytest.raises(ValueError, match="must be one of"):
+            api.get_spec("exp41").resolve({"engine": "fluid"})
+
+    def test_horizon_is_a_first_class_parameter(self):
+        horizon = api.get_spec("cluster").param("horizon_seconds")
+        assert horizon.type == "float"
+        assert horizon.default == 0.0
+        resolved = api.get_spec("cluster").resolve({"horizon_seconds": "1800"})
+        assert resolved["horizon_seconds"] == 1800.0
+
+
 class TestVersionSingleSourcing:
     def test_version_is_a_semver_string(self):
         import repro

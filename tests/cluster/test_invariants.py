@@ -192,6 +192,101 @@ class TestScenarioKindExperiments:
         assert rolling.crashes == 0
 
 
+class TestStreamDiscipline:
+    """Seeded RNG stream discipline of the exact engines.
+
+    The exact tiers' reproducibility contract is that *ambient* choices --
+    enabling telemetry, picking a different engine tier for another run,
+    sweep worker counts -- never perturb their seeded random streams.  Each
+    test interleaves one such choice with a reference exact run and demands
+    bit-identical outcomes.
+    """
+
+    @staticmethod
+    def _exact_outcome(seed=31):
+        engine = ClusterEngine(
+            num_nodes=3,
+            config=ClusterScenario.fast().config,
+            total_ebs=90,
+            injector_factory=ClusterScenario.fast().injector_factory,
+            coordinator=NoClusterRejuvenation(),
+            seed=seed,
+        )
+        return engine.run(max_seconds=2400.0)
+
+    def test_telemetry_never_perturbs_exact_streams(self):
+        """An active hub observes the run; it must not participate in it."""
+        from repro.telemetry import Telemetry, activate
+
+        plain = self._exact_outcome()
+        with activate(Telemetry()):
+            traced = self._exact_outcome()
+        assert traced == plain
+
+    def test_fluid_runs_leave_exact_streams_untouched(self):
+        """A fluid-tier run between two exact runs changes neither the exact
+        outcome nor any ambient random state the exact engines could read."""
+        import numpy as np
+
+        from repro.cluster.fluid import FluidClusterEngine
+
+        before = self._exact_outcome()
+        random.seed(12345)
+        python_state = random.getstate()
+        numpy_state = np.random.get_state()
+
+        scenario = ClusterScenario.fast()
+        FluidClusterEngine(
+            num_nodes=3,
+            config=scenario.config,
+            total_ebs=90,
+            injector_factory=scenario.injector_factory,
+            seed=31,
+        ).run(max_seconds=2400.0)
+
+        assert random.getstate() == python_state, "fluid run consumed the global python RNG"
+        after_numpy = np.random.get_state()
+        assert after_numpy[0] == numpy_state[0]
+        assert np.array_equal(after_numpy[1], numpy_state[1]), (
+            "fluid run consumed the global numpy RNG"
+        )
+        assert self._exact_outcome() == before
+
+    def test_engine_tier_switch_never_perturbs_exact_streams(self):
+        """Running the per-second reference in between leaves the
+        event-driven engine's streams untouched (and vice versa)."""
+        from repro.cluster.engine import PerSecondClusterEngine
+
+        before = self._exact_outcome()
+        scenario = ClusterScenario.fast()
+        PerSecondClusterEngine(
+            num_nodes=2,
+            config=scenario.config,
+            total_ebs=40,
+            injector_factory=scenario.injector_factory,
+            seed=5,
+        ).run(max_seconds=900.0)
+        assert self._exact_outcome() == before
+
+    def test_worker_count_never_perturbs_results(self, tmp_path):
+        """Sweep orchestration: the same point through 1 and 2 workers
+        serializes byte-identically (process dispatch is outside the seeded
+        streams)."""
+        from repro.api.executor import run_points
+        from repro.api.store import ResultStore
+        from repro.api.sweep import expand_sweep
+
+        points = expand_sweep("figure2", {"scale": "small", "seed": "11", "num_cycles": "2"})
+        sequential = run_points(
+            points, ResultStore(tmp_path / "w1"), workers=1, use_cache=False
+        )
+        parallel = run_points(
+            points, ResultStore(tmp_path / "w2"), workers=2, use_cache=False
+        )
+        assert len(sequential) == len(parallel) == 1
+        assert sequential[0].result.to_json() == parallel[0].result.to_json()
+
+
 class ConservationCollector(MetricsCollector):
     """A metrics collector that audits request conservation at every mark.
 
