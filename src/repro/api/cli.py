@@ -31,6 +31,10 @@ Eight subcommands, all driven by the declarative specs of
     Pretty-print a trace sidecar (or the sidecar next to an envelope path).
 ``repro stats PATH``
     Summarize a sidecar's counters, gauges and histograms.
+``repro serve [--preset P --kind K --policy POL --port N ...] | --replay DIR``
+    Run the long-lived fleet service (live status API, dashboard, scenario
+    mutations; see :mod:`repro.service`), or deterministically replay a
+    recorded session directory and verify its outcome.
 
 ``batch`` and ``sweep`` share the process-pool orchestrator of
 :mod:`repro.api.executor` (``--workers`` defaults to the machine's cores;
@@ -59,6 +63,7 @@ from repro.api.registry import get_spec, list_experiments, match_experiments, ru
 from repro.api.spec import CLUSTER_ENGINES, ENGINES, SCALES
 from repro.api.store import ResultStore, collect_results, summary_json
 from repro.api.sweep import batch_points, expand_sweep
+from repro.service.cli import add_serve_arguments, command_serve
 from repro.telemetry import (
     SIDECAR_SUFFIX,
     Telemetry,
@@ -163,6 +168,11 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="summarize a trace sidecar's counters, gauges and histograms"
     )
     stats.add_argument("path", help="a .trace.jsonl sidecar, or a result envelope next to one")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the live fleet service, or replay a recorded session"
+    )
+    add_serve_arguments(serve)
     return parser
 
 
@@ -456,6 +466,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_trace(args)
     if args.command == "stats":
         return _command_stats(args)
+    if args.command == "serve":
+        return command_serve(args)
     raise SystemExit(f"repro: unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -409,17 +409,11 @@ def _run_cluster(
         "rolling_predictive": result.rolling_predictive,
     }
     for policy, outcome in policies.items():
-        metrics[f"{policy}.availability"] = outcome.availability
-        metrics[f"{policy}.request_success_rate"] = outcome.request_success_rate
-        metrics[f"{policy}.full_outage_seconds"] = outcome.full_outage_seconds
-        metrics[f"{policy}.degraded_seconds"] = outcome.degraded_seconds
-        metrics[f"{policy}.min_active_nodes"] = outcome.min_active_nodes
-        metrics[f"{policy}.crashes"] = outcome.crashes
-        metrics[f"{policy}.rejuvenations"] = outcome.rejuvenations
-        metrics[f"{policy}.served_requests"] = outcome.served_requests
-        metrics[f"{policy}.dropped_requests"] = outcome.dropped_requests
-        metrics[f"{policy}.planned_downtime_seconds"] = outcome.planned_downtime_seconds
-        metrics[f"{policy}.unplanned_downtime_seconds"] = outcome.unplanned_downtime_seconds
+        # The per-policy scalars come straight from the outcome's canonical
+        # metrics() view -- the same dict the fleet service publishes -- so
+        # envelope keys and values can never drift from the API surface.
+        for key, value in outcome.metrics().items():
+            metrics[f"{policy}.{key}"] = value
         series[f"{policy}.per_node_availability"] = [
             node.availability for node in outcome.per_node
         ]

@@ -56,6 +56,8 @@ from repro.cluster.routing import RoutingEpoch, RoutingPolicy
 from repro.cluster.status import ClusterOutcome, FleetStatus
 from repro.core.predictor import AgingPredictor
 from repro.testbed.events import next_fire_tick
+from repro.testbed.faults.memory_leak import MemoryLeakInjector
+from repro.testbed.faults.thread_leak import ThreadLeakInjector
 from repro.testbed.timeline import first_tick_at_or_after, ticks_until_nonpositive
 from repro.testbed.clock import SimulationClock
 from repro.testbed.config import TestbedConfig
@@ -64,7 +66,7 @@ from repro.testbed.tpcw.workload import WorkloadGenerator, WorkloadMix
 from repro.telemetry import runtime as telemetry_runtime
 from repro.telemetry.hub import ENGINE as _ENGINE_CHANNEL
 
-__all__ = ["ClusterEngine", "PerSecondClusterEngine"]
+__all__ = ["ClusterEngine", "PerSecondClusterEngine", "apply_injector_overrides"]
 
 #: Seed stride between the nodes of one cluster.
 _NODE_SEED_STRIDE = 104729
@@ -72,6 +74,29 @@ _NODE_SEED_STRIDE = 104729
 #: Event kinds of the event-driven scheduler (heap tie-break order matters:
 #: transitions apply before marks and injector drives of the same tick).
 _TRANSITION, _MARK, _INJECTOR, _DECIDE = 0, 1, 2, 3
+
+
+def apply_injector_overrides(injectors, overrides: dict) -> None:
+    """Apply leak-rate overrides to the paper's injector types, in place.
+
+    Recognised keys: ``memory_n`` (0 disables the memory leak), ``thread_m``
+    (0 disables the thread leak) and ``thread_t``.  Unknown injector types are
+    left untouched -- a rate mutation only has defined semantics for the
+    paper's injectors, and both exact engines plus every future incarnation
+    must apply exactly the same calls for the streams to stay aligned.
+    """
+    for injector in injectors:
+        if isinstance(injector, MemoryLeakInjector) and "memory_n" in overrides:
+            n = overrides["memory_n"]
+            injector.set_rate(None if n == 0 else n)
+        elif isinstance(injector, ThreadLeakInjector) and (
+            "thread_m" in overrides or "thread_t" in overrides
+        ):
+            m = overrides.get("thread_m", injector.m)
+            if m == 0:
+                injector.set_rate(None)
+            else:
+                injector.set_rate(m, overrides.get("thread_t"))
 
 
 class ClusterEngine:
@@ -206,10 +231,17 @@ class ClusterEngine:
         #: Requests rerouted to a surviving node after a mid-request crash.
         self.requests_rerouted = 0
         self._finished = False
+        self._started = False
+        #: Boundary tick of the incremental surface: every tick at or before
+        #: it is fully processed, nothing after it has begun.
+        self._current_tick = 0
+        #: Cumulative per-node injector overrides (mutate_leak_rates); keyed
+        #: by node id, applied to every future incarnation's fresh injectors.
+        self._injector_overrides: dict[int, dict] = {}
 
-        # Event-driven scheduler state (populated by run()).
+        # Event-driven scheduler state (populated on the first step()).
         self._events: list[tuple[int, int, int]] = []
-        self._browser_fires: list[tuple[int, int]] = []
+        self._browser_fires: list[tuple[int, int, int]] = []
         self._active_count = num_nodes
         self._candidates: list[ClusterNode] | None = None
 
@@ -220,16 +252,49 @@ class ClusterEngine:
 
         Unlike a single-server run the cluster never "ends with the crash":
         crashed nodes recover after their downtime and rejoin, so the run
-        always covers the full horizon.  The engine is single-use.
+        always covers the full horizon.  The engine is single-use; batch
+        callers get exactly one :meth:`step` over the whole horizon followed
+        by :meth:`finish` (the golden parity tests pin the decomposition as
+        bit-for-bit neutral).
         """
-        self._check_single_use(max_seconds)
-        tick = self.config.tick_seconds
-        final_tick = first_tick_at_or_after(max_seconds, tick)
+        self._check_batch_use(max_seconds)
+        self.step(first_tick_at_or_after(max_seconds, self.config.tick_seconds))
+        return self.finish()
 
+    def _check_batch_use(self, max_seconds: float) -> None:
+        if max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+        if self._started or self._finished:
+            raise RuntimeError("this cluster engine has already been run; create a new one")
+
+    # -------------------------------------------------------- incremental API
+
+    @property
+    def current_tick(self) -> int:
+        """Boundary tick the engine is paused at (0 before the first step)."""
+        return self._current_tick
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._prime_events()
+
+    def _prime_events(self) -> None:
+        """Arm the initial wake events (first step of the event-driven engine)."""
+        tick = self.config.tick_seconds
         for index, browser in enumerate(self.workload.browser_population()):
             heapq.heappush(
                 self._browser_fires,
-                (ticks_until_nonpositive(browser.remaining_think_s, tick), index),
+                (
+                    ticks_until_nonpositive(browser.remaining_think_s, tick),
+                    browser.browser_id,
+                    index,
+                ),
             )
         for node in self.nodes:
             self._schedule_node_wakes(node, floor_tick=1)
@@ -240,17 +305,33 @@ class ClusterEngine:
             # per-tick cadence) rather than scheduling an impossible wake.
             heapq.heappush(self._events, (max(hint, 1), _DECIDE, -1))
 
-        current = 0
-        while current < final_tick:
+    def step(self, ticks: int) -> int:
+        """Advance the fleet by exactly ``ticks`` ticks; return the new tick.
+
+        The incremental primitive behind :meth:`run`: chunking a horizon into
+        arbitrary ``step`` calls is bit-for-bit identical to one batch run
+        (quiet spans split exactly, the clock counts integer ticks, and the
+        fleet clock is parked on the boundary so mutations applied between
+        steps stamp the right tick).
+        """
+        if ticks < 1:
+            raise ValueError("ticks must be at least 1")
+        if self._finished:
+            raise RuntimeError("this cluster engine has already finished")
+        self._ensure_started()
+        tick = self.config.tick_seconds
+        current = self._current_tick
+        target = current + ticks
+        while current < target:
             heads = []
             if self._browser_fires:
                 heads.append(self._browser_fires[0][0])
             if self._events:
                 heads.append(self._events[0][0])
             upcoming = min(heads) if heads else None
-            if upcoming is None or upcoming > final_tick:
-                self.status.record_quiet_span(final_tick - current, tick, self._active_count)
-                current = final_tick
+            if upcoming is None or upcoming > target:
+                self.status.record_quiet_span(target - current, tick, self._active_count)
+                current = target
                 break
             if upcoming > current + 1:
                 self.status.record_quiet_span(upcoming - 1 - current, tick, self._active_count)
@@ -261,20 +342,21 @@ class ClusterEngine:
                 )
             current = upcoming
             self._process_event_tick(current)
-        if self.clock.ticks < final_tick:
-            self.clock.advance(final_tick - self.clock.ticks)
+        if self.clock.ticks < target:
+            self.clock.advance(target - self.clock.ticks)
+        self._current_tick = target
+        return target
+
+    def finish(self) -> ClusterOutcome:
+        """Settle all lazy accounting and freeze the outcome (single use)."""
+        if self._finished:
+            raise RuntimeError("this cluster engine has already finished")
+        self._finished = True
         for node in self.nodes:
-            node.ev_flush(final_tick)
+            node.ev_flush(self._current_tick)
         outcome = self.outcome()
         self._telemetry_finalize(outcome)
         return outcome
-
-    def _check_single_use(self, max_seconds: float) -> None:
-        if max_seconds <= 0:
-            raise ValueError("max_seconds must be positive")
-        if self._finished:
-            raise RuntimeError("this cluster engine has already been run; create a new one")
-        self._finished = True
 
     # --------------------------------------------------------- event plumbing
 
@@ -369,7 +451,9 @@ class ClusterEngine:
             policy = self.balancer.policy
             penalty = self.dropped_request_penalty_s
             while browser_fires and browser_fires[0][0] == current:
-                _, index = heapq.heappop(browser_fires)
+                _, browser_id, index = heapq.heappop(browser_fires)
+                if index >= len(browsers) or browsers[index].browser_id != browser_id:
+                    continue  # stale: the browser left in a mid-run load change
                 browser = browsers[index]
                 interaction = self.workload.draw_interaction(browser)
                 response_time = penalty
@@ -400,7 +484,8 @@ class ClusterEngine:
                     break
                 think_time = browser.complete_request_and_rethink()
                 heapq.heappush(
-                    browser_fires, (next_fire_tick(current, response_time, think_time, tick), index)
+                    browser_fires,
+                    (next_fire_tick(current, response_time, think_time, tick), browser_id, index),
                 )
 
         # -- drive the scheduled injector events
@@ -469,6 +554,206 @@ class ClusterEngine:
                 # impossible wake.
                 heapq.heappush(self._events, (max(hint, current + 1), _DECIDE, -1))
 
+    # ------------------------------------------------------------- mutations
+    #
+    # Live scenario mutations, applied only while the engine is paused at a
+    # step boundary ("after tick j fully settled, before tick j+1 begins").
+    # Each mutation emits one sim-channel "mutation" event, which binds the
+    # command log into the telemetry digest: replaying the same mutations at
+    # the same ticks reproduces the digest byte-for-byte, and the exact
+    # engines (event / per_second) stay bit-for-bit comparable under any
+    # mutation sequence because the per-tick semantics below mirror each
+    # other precisely.
+
+    def _check_mutable(self) -> None:
+        if self._finished:
+            raise RuntimeError("this cluster engine has already finished")
+
+    def _record_mutation(self, kind: str, data: dict) -> None:
+        if self.telemetry is not None:
+            payload = {"kind": kind}
+            payload.update(data)
+            self.telemetry.event("mutation", self._current_tick, run="fleet", data=payload)
+
+    def mutate_load(self, total_ebs: int) -> None:
+        """Resize the fleet-level browser population at the boundary tick.
+
+        Growth draws fresh browser seeds from the workload generator's own
+        stream (engine-invariant); shrink truncates the population tail.  The
+        per-second engine first ticks a new browser on the following tick, so
+        the event engine schedules its first fire accordingly.
+        """
+        self._check_mutable()
+        if total_ebs < 1:
+            raise ValueError("total_ebs must be at least 1")
+        self._ensure_started()
+        previous = self.total_ebs
+        old_count = self.workload.num_browsers
+        self.workload.set_num_browsers(total_ebs)
+        self.total_ebs = total_ebs
+        self._after_load_change(old_count)
+        self._record_mutation("load", {"total_ebs": total_ebs, "previous": previous})
+
+    def _after_load_change(self, old_count: int) -> None:
+        j = self._current_tick
+        tick = self.config.tick_seconds
+        browsers = self.workload.browser_population()
+        for index in range(old_count, len(browsers)):
+            browser = browsers[index]
+            first = j + ticks_until_nonpositive(browser.remaining_think_s, tick)
+            heapq.heappush(
+                self._browser_fires, (max(first, j + 1), browser.browser_id, index)
+            )
+        heapq.heappush(self._events, (j + 1, _DECIDE, -1))
+
+    def mutate_kill(self, node_id: int, reason: str = "operator kill") -> None:
+        """Crash a live node at the boundary tick (unplanned restart follows).
+
+        Semantically the node completes tick ``j`` normally and its process
+        dies before tick ``j+1``: downtime is charged from ``j+1`` and the
+        node rejoins after its crash-recovery window, exactly as if a served
+        request had crashed it -- both engines time it identically.
+        """
+        self._check_mutable()
+        node = self._mutation_node(node_id)
+        if not node.live:
+            raise ValueError(f"node {node_id} is not live (state: {node.state.value})")
+        self._ensure_started()
+        crash = ServerCrash(f"operator kill: {reason}", resource="operator")
+        self._apply_kill(node, crash)
+        self._record_mutation("kill", {"node": node_id, "reason": reason})
+
+    def _apply_kill(self, node: ClusterNode, crash: ServerCrash) -> None:
+        j = self._current_tick
+        was_accepting = node.accepting
+        rejoin_tick = node.ev_record_crash_at_boundary(j, crash)
+        heapq.heappush(self._events, (rejoin_tick, _TRANSITION, node.node_id))
+        if was_accepting:
+            self._active_count -= 1
+        self._candidates = None
+        heapq.heappush(self._events, (j + 1, _DECIDE, -1))
+
+    def mutate_rejuvenate(self, node_id: int) -> None:
+        """Trigger an operator-initiated rejuvenation (drain, then restart).
+
+        Equivalent to the coordinator having scheduled this node at the end
+        of the boundary tick: the node drains for ``drain_seconds`` and then
+        takes its planned restart downtime.
+        """
+        self._check_mutable()
+        node = self._mutation_node(node_id)
+        if not node.accepting:
+            raise ValueError(
+                f"only an ACTIVE node can be rejuvenated (node {node_id} is {node.state.value})"
+            )
+        self._ensure_started()
+        self._apply_rejuvenate(node)
+        self._record_mutation("rejuvenate", {"node": node_id})
+
+    def _apply_rejuvenate(self, node: ClusterNode) -> None:
+        j = self._current_tick
+        drain_transition = node.ev_begin_drain(j)
+        heapq.heappush(self._events, (drain_transition, _TRANSITION, node.node_id))
+        self._active_count -= 1
+        self._candidates = None
+        heapq.heappush(self._events, (j + 1, _DECIDE, -1))
+
+    def mutate_leak_rates(
+        self,
+        node_id: int | None = None,
+        memory_n: int | None = None,
+        thread_m: int | None = None,
+        thread_t: int | None = None,
+    ) -> None:
+        """Change the aging-fault injection rates of one node (or the fleet).
+
+        ``memory_n`` / ``thread_m`` of 0 disable the respective injector;
+        omitted parameters stay unchanged.  Applies to the live incarnations
+        immediately and to every future incarnation of the targeted nodes
+        (fresh injectors get the cumulative overrides re-applied).  Injector
+        wake schedules are untouched: the thread injector's next-injection
+        time survives a rate change by design, and the memory leak is purely
+        workload-driven.
+        """
+        self._check_mutable()
+        overrides: dict = {}
+        if memory_n is not None:
+            if memory_n < 0:
+                raise ValueError("memory_n must be >= 0 (0 disables the memory leak)")
+            overrides["memory_n"] = memory_n
+        if thread_m is not None:
+            if thread_m < 0:
+                raise ValueError("thread_m must be >= 0 (0 disables the thread leak)")
+            overrides["thread_m"] = thread_m
+        if thread_t is not None:
+            if thread_t < 1:
+                raise ValueError("thread_t must be at least 1")
+            overrides["thread_t"] = thread_t
+        if not overrides:
+            raise ValueError("a leak-rate mutation needs at least one of memory_n/thread_m/thread_t")
+        targets = self.nodes if node_id is None else [self._mutation_node(node_id)]
+        self._ensure_started()
+        for node in targets:
+            self._install_override_factory(node)
+            self._injector_overrides[node.node_id].update(overrides)
+            if node.live and node.simulation is not None:
+                apply_injector_overrides(node.simulation.injectors, overrides)
+        self._record_mutation(
+            "leak_rate",
+            {"node": node_id, **{key: overrides[key] for key in sorted(overrides)}},
+        )
+
+    def _install_override_factory(self, node: ClusterNode) -> None:
+        """Wrap a node's injector factory so future incarnations inherit overrides."""
+        if node.node_id in self._injector_overrides:
+            return
+        store: dict = {}
+        self._injector_overrides[node.node_id] = store
+        base = node.injector_factory
+
+        def factory(seed: int):
+            injectors = list(base(seed))
+            apply_injector_overrides(injectors, store)
+            return injectors
+
+        node.injector_factory = factory
+
+    def _mutation_node(self, node_id: int) -> ClusterNode:
+        if not 0 <= node_id < len(self.nodes):
+            raise ValueError(f"node_id must be within [0, {len(self.nodes) - 1}]")
+        return self.nodes[node_id]
+
+    # -------------------------------------------------------------- snapshots
+
+    def fleet_snapshot(self) -> dict:
+        """Read-only fleet summary at the current boundary (observer-safe).
+
+        Never settles lazy state: per-node uptime can lag by up to one
+        monitoring interval on the event engine.  The running aggregates of
+        :class:`FleetStatus` are exact at every step boundary.
+        """
+        snapshot = self.status.snapshot_dict()
+        snapshot.update(
+            {
+                "engine": type(self).__name__,
+                "tick": self._current_tick,
+                "sim_seconds": self._current_tick * self.config.tick_seconds,
+                "num_nodes": len(self.nodes),
+                "total_ebs": self.total_ebs,
+                "active_nodes": sum(1 for node in self.nodes if node.accepting),
+                "live_nodes": sum(1 for node in self.nodes if node.live),
+                "requests_rerouted": self.requests_rerouted,
+                "routing": self.balancer.policy.describe(),
+                "coordinator": self.coordinator.describe(),
+                "finished": self._finished,
+            }
+        )
+        return snapshot
+
+    def node_snapshots(self) -> list[dict]:
+        """Read-only per-node status dicts (see :meth:`ClusterNode.status_dict`)."""
+        return [node.status_dict() for node in self.nodes]
+
     # --------------------------------------------------------------- results
 
     def outcome(self) -> ClusterOutcome:
@@ -532,11 +817,35 @@ class PerSecondClusterEngine(ClusterEngine):
     """
 
     def run(self, max_seconds: float) -> ClusterOutcome:
-        self._check_single_use(max_seconds)
+        self._check_batch_use(max_seconds)
+        self._ensure_started()
         tick = self.config.tick_seconds
         while self.clock.now < max_seconds:
             self.clock.advance()
             self._run_one_tick(tick)
+        self._current_tick = self.clock.ticks
+        return self.finish()
+
+    def _prime_events(self) -> None:
+        """The reference engine ticks everything: no wake events to arm."""
+
+    def step(self, ticks: int) -> int:
+        if ticks < 1:
+            raise ValueError("ticks must be at least 1")
+        if self._finished:
+            raise RuntimeError("this cluster engine has already finished")
+        self._ensure_started()
+        tick = self.config.tick_seconds
+        for _ in range(ticks):
+            self.clock.advance()
+            self._run_one_tick(tick)
+        self._current_tick = self.clock.ticks
+        return self._current_tick
+
+    def finish(self) -> ClusterOutcome:
+        if self._finished:
+            raise RuntimeError("this cluster engine has already finished")
+        self._finished = True
         outcome = self.outcome()
         if self.telemetry is not None:
             self.telemetry.count(
@@ -544,6 +853,21 @@ class PerSecondClusterEngine(ClusterEngine):
             )
         self._telemetry_finalize(outcome)
         return outcome
+
+    # ---------------------------------------------------- mutation plumbing
+    #
+    # The reference engine re-derives everything per tick, so boundary
+    # mutations reduce to the plain lifecycle calls; the event engine's
+    # overrides above replicate exactly these semantics on its heaps.
+
+    def _after_load_change(self, old_count: int) -> None:
+        """Nothing to re-arm: the per-tick loop sees the new population."""
+
+    def _apply_kill(self, node: ClusterNode, crash: ServerCrash) -> None:
+        node.record_crash(crash)
+
+    def _apply_rejuvenate(self, node: ClusterNode) -> None:
+        node.begin_drain()
 
     def _run_one_tick(self, tick: float) -> None:
         live_nodes = [node for node in self.nodes if node.advance_tick(tick)]

@@ -441,6 +441,35 @@ class ClusterNode:
                     ),
                 )
 
+    def status_dict(self) -> dict:
+        """Read-only canonical status snapshot (service API / dashboards).
+
+        Observer-safe by construction: nothing here settles lazy state, so a
+        poll can never perturb a running simulation.  On the event-driven
+        engine the lazily-charged ``uptime_seconds`` / downtime fields can
+        therefore lag the boundary by up to one monitoring interval; the
+        lifecycle fields (state, alarm, forecast, counters) are always
+        current.  Values are JSON-safe: finite floats, ints, strings, bools
+        or ``None``.
+        """
+        return {
+            "node_id": self.node_id,
+            "state": self.state.value,
+            "live": self.live,
+            "accepting": self.accepting,
+            "alarm": self.alarm,
+            "incarnation": self._incarnation_index - 1,
+            "current_uptime_seconds": self.current_uptime_seconds,
+            "predicted_ttf_seconds": self.predicted_ttf_seconds,
+            "uptime_seconds": self.uptime_seconds,
+            "planned_downtime_seconds": self.planned_downtime_seconds,
+            "unplanned_downtime_seconds": self.unplanned_downtime_seconds,
+            "availability": self.availability,
+            "crashes": self.crashes,
+            "rejuvenations": self.rejuvenations,
+            "requests_served": self.requests_served,
+        }
+
     def describe(self) -> str:
         return (
             f"node {self.node_id}: {self.state.value}, availability {self.availability:.4f}, "
@@ -540,6 +569,25 @@ class ClusterNode:
         settlement.discard_open()
         settlement.replay_os_to(j - 1)
         settlement.advance_clock_to(j)
+        self.record_crash(crash)
+        tick = self.config.tick_seconds
+        down_ticks = ticks_until_nonpositive(self._downtime_remaining, tick)
+        self._ev_downtime_charged_to = j  # first charged tick is j + 1
+        self._ev_transition_tick = j + 1 + down_ticks
+        return self._ev_transition_tick
+
+    def ev_record_crash_at_boundary(self, j: int, crash: ServerCrash) -> int:
+        """Record an operator-initiated crash *between* ticks ``j`` and ``j+1``.
+
+        Unlike :meth:`ev_record_crash` (a crash surfacing mid-tick while
+        serving), the boundary kill lets tick ``j`` settle normally first --
+        the reference engine ran its ``end_tick`` -- and the process dies
+        before tick ``j+1`` begins: downtime is charged from ``j+1`` and the
+        node is live again at the returned tick.
+        """
+        settlement = self.settlement
+        assert settlement is not None
+        settlement.settle_through(j)
         self.record_crash(crash)
         tick = self.config.tick_seconds
         down_ticks = ticks_until_nonpositive(self._downtime_remaining, tick)

@@ -17,6 +17,8 @@ coordinated rolling rejuvenation.
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -24,6 +26,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.node import ClusterNode
 
 __all__ = ["NodeOutcome", "ClusterOutcome", "FleetStatus"]
+
+
+def _canonical_json(payload: dict) -> str:
+    """Canonical JSON: sorted keys, tight separators, NaN/Inf rejected.
+
+    The same conventions as ``RunResult.to_json`` and the telemetry sidecars
+    (this module must stay importable without the API layer, so the rule is
+    restated rather than imported).
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def _finite(value: float, field: str) -> float:
+    if not math.isfinite(value):
+        raise ValueError(f"{field} must be finite for a canonical snapshot (got {value!r})")
+    return float(value)
 
 
 @dataclass(frozen=True)
@@ -38,6 +56,23 @@ class NodeOutcome:
     rejuvenations: int
     requests_served: int
     availability: float
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe view (finite floats, ints; no NaN)."""
+        return {
+            "node_id": self.node_id,
+            "uptime_seconds": _finite(self.uptime_seconds, "uptime_seconds"),
+            "planned_downtime_seconds": _finite(
+                self.planned_downtime_seconds, "planned_downtime_seconds"
+            ),
+            "unplanned_downtime_seconds": _finite(
+                self.unplanned_downtime_seconds, "unplanned_downtime_seconds"
+            ),
+            "crashes": self.crashes,
+            "rejuvenations": self.rejuvenations,
+            "requests_served": self.requests_served,
+            "availability": _finite(self.availability, "availability"),
+        }
 
 
 @dataclass(frozen=True)
@@ -80,6 +115,66 @@ class ClusterOutcome:
     def downtime_seconds(self) -> float:
         """Summed node downtime (planned plus unplanned) across the fleet."""
         return self.planned_downtime_seconds + self.unplanned_downtime_seconds
+
+    def metrics(self) -> dict:
+        """The flat scalar metrics of one policy run, in the envelope's order.
+
+        These are exactly the per-policy keys the ``cluster`` registry
+        adapter publishes into ``RunResult.metrics`` (and ``repro collect``
+        aggregates); the adapter reuses this method so the two surfaces can
+        never drift.
+        """
+        return {
+            "availability": self.availability,
+            "request_success_rate": self.request_success_rate,
+            "full_outage_seconds": self.full_outage_seconds,
+            "degraded_seconds": self.degraded_seconds,
+            "min_active_nodes": self.min_active_nodes,
+            "crashes": self.crashes,
+            "rejuvenations": self.rejuvenations,
+            "served_requests": self.served_requests,
+            "dropped_requests": self.dropped_requests,
+            "planned_downtime_seconds": self.planned_downtime_seconds,
+            "unplanned_downtime_seconds": self.unplanned_downtime_seconds,
+        }
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe view of the whole outcome (sorted-key stable).
+
+        Everything in the dataclass plus the derived properties, with the
+        per-node breakdown nested under ``per_node``.  Serializing with
+        :meth:`to_json` yields a byte-stable canonical document -- the unit
+        the service's replay verification compares.
+        """
+        payload = {
+            "routing_description": self.routing_description,
+            "coordinator_description": self.coordinator_description,
+            "num_nodes": self.num_nodes,
+            "horizon_seconds": _finite(self.horizon_seconds, "horizon_seconds"),
+            "capacity_node_seconds": _finite(self.capacity_node_seconds, "capacity_node_seconds"),
+            "full_outage_seconds": _finite(self.full_outage_seconds, "full_outage_seconds"),
+            "degraded_seconds": _finite(self.degraded_seconds, "degraded_seconds"),
+            "min_active_nodes": self.min_active_nodes,
+            "served_requests": self.served_requests,
+            "dropped_requests": self.dropped_requests,
+            "crashes": self.crashes,
+            "rejuvenations": self.rejuvenations,
+            "planned_downtime_seconds": _finite(
+                self.planned_downtime_seconds, "planned_downtime_seconds"
+            ),
+            "unplanned_downtime_seconds": _finite(
+                self.unplanned_downtime_seconds, "unplanned_downtime_seconds"
+            ),
+            "availability": _finite(self.availability, "availability"),
+            "request_success_rate": _finite(self.request_success_rate, "request_success_rate"),
+            "downtime_seconds": _finite(self.downtime_seconds, "downtime_seconds"),
+            "per_node": [node.to_dict() for node in self.per_node],
+        }
+        return payload
+
+    def to_json(self) -> str:
+        """Canonical byte-stable JSON (sorted keys, no NaN; RunResult rules)."""
+        return _canonical_json(self.to_dict())
 
     def summary(self) -> str:
         return (
@@ -149,6 +244,28 @@ class FleetStatus:
                 self.degraded_seconds += tick_seconds
         if ticks > 0:
             self.min_active_nodes = min(self.min_active_nodes, active_nodes)
+
+    def snapshot_dict(self) -> dict:
+        """Canonical JSON-safe view of the running aggregates (mid-run safe).
+
+        The live analogue of :meth:`ClusterOutcome.to_dict`: exact at every
+        engine step boundary, never mutating, and following the same
+        conventions (finite floats, derived rates included).
+        """
+        total = self.num_nodes * self.horizon_seconds
+        requests = self.served_requests + self.dropped_requests
+        return {
+            "num_nodes": self.num_nodes,
+            "horizon_seconds": _finite(self.horizon_seconds, "horizon_seconds"),
+            "capacity_node_seconds": _finite(self.capacity_node_seconds, "capacity_node_seconds"),
+            "full_outage_seconds": _finite(self.full_outage_seconds, "full_outage_seconds"),
+            "degraded_seconds": _finite(self.degraded_seconds, "degraded_seconds"),
+            "min_active_nodes": self.min_active_nodes,
+            "served_requests": self.served_requests,
+            "dropped_requests": self.dropped_requests,
+            "availability": (self.capacity_node_seconds / total) if total > 0 else 0.0,
+            "request_success_rate": (self.served_requests / requests) if requests > 0 else 1.0,
+        }
 
     def outcome(
         self,

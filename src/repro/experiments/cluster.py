@@ -51,6 +51,7 @@ __all__ = [
     "train_cluster_predictor",
     "derive_time_based_interval",
     "lifecycle_monitor_factory",
+    "build_cluster_engine",
     "run_cluster_policy",
     "run_cluster_experiment",
 ]
@@ -205,19 +206,22 @@ def lifecycle_monitor_factory(
     return factory
 
 
-def run_cluster_policy(
+def build_cluster_engine(
     scenario: ClusterScenario,
     coordinator: ClusterRejuvenationCoordinator,
     routing_policy: RoutingPolicy | None = None,
     predictor: AgingPredictor | None = None,
     monitor_factory: MonitorFactory | None = None,
     fleet_engine: str = "event",
-) -> ClusterOutcome:
-    """Operate one fleet configuration over the scenario horizon.
+):
+    """Construct (but do not run) the cluster engine of one fleet policy.
 
     ``fleet_engine`` selects the cluster engine tier: ``"event"`` (exact,
     default), ``"per_second"`` (exact tick-everything reference) or
-    ``"fluid"`` (approximate numpy mean-field tier for wide fleets).
+    ``"fluid"`` (approximate numpy mean-field tier for wide fleets).  The
+    fleet service drives the returned engine incrementally through
+    ``step``/``finish``; :func:`run_cluster_policy` runs it to the scenario
+    horizon in one batch.
     """
     if fleet_engine not in ("event", "per_second", "fluid"):
         raise ValueError(f"unknown fleet engine {fleet_engine!r}")
@@ -226,7 +230,7 @@ def run_cluster_policy(
         "per_second": PerSecondClusterEngine,
         "fluid": FluidClusterEngine,
     }[fleet_engine]
-    engine = engine_cls(
+    return engine_cls(
         num_nodes=scenario.num_nodes,
         config=scenario.config,
         node_configs=scenario.node_configs,
@@ -242,6 +246,28 @@ def run_cluster_policy(
         rejuvenation_downtime_seconds=scenario.rejuvenation_downtime_seconds,
         crash_downtime_seconds=scenario.crash_downtime_seconds,
         seed=scenario.cluster_seed,
+    )
+
+
+def run_cluster_policy(
+    scenario: ClusterScenario,
+    coordinator: ClusterRejuvenationCoordinator,
+    routing_policy: RoutingPolicy | None = None,
+    predictor: AgingPredictor | None = None,
+    monitor_factory: MonitorFactory | None = None,
+    fleet_engine: str = "event",
+) -> ClusterOutcome:
+    """Operate one fleet configuration over the scenario horizon.
+
+    See :func:`build_cluster_engine` for the ``fleet_engine`` tiers.
+    """
+    engine = build_cluster_engine(
+        scenario,
+        coordinator,
+        routing_policy=routing_policy,
+        predictor=predictor,
+        monitor_factory=monitor_factory,
+        fleet_engine=fleet_engine,
     )
     return engine.run(max_seconds=scenario.horizon_seconds)
 

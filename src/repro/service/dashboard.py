@@ -1,0 +1,137 @@
+"""The fleet dashboard: one self-contained HTML/JS page, zero dependencies.
+
+Served by the fleet service at ``/``.  The page polls ``/fleet`` and
+``/forecasts`` every couple of seconds and renders the fleet summary, a
+per-node table and an inline-SVG sparkline of each node's forecast history
+-- vanilla JavaScript only, so the whole dashboard rides inside the Python
+process with no build step, bundler or CDN.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>fleet dashboard</title>
+<style>
+  :root { color-scheme: dark; }
+  body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2rem;
+         background: #14161a; color: #d7dae0; }
+  h1 { font-size: 1.2rem; letter-spacing: 0.05em; }
+  .cards { display: flex; flex-wrap: wrap; gap: 0.8rem; margin: 1rem 0; }
+  .card { background: #1d2026; border: 1px solid #2c313a; border-radius: 6px;
+          padding: 0.6rem 1rem; min-width: 9rem; }
+  .card .label { font-size: 0.7rem; color: #8b93a2; text-transform: uppercase; }
+  .card .value { font-size: 1.25rem; margin-top: 0.2rem; }
+  table { border-collapse: collapse; width: 100%; margin-top: 1rem; }
+  th, td { text-align: left; padding: 0.35rem 0.7rem; border-bottom: 1px solid #2c313a;
+           font-size: 0.85rem; }
+  th { color: #8b93a2; font-weight: normal; text-transform: uppercase; font-size: 0.7rem; }
+  .state-active { color: #7ed491; }
+  .state-draining { color: #e8c268; }
+  .state-restarting { color: #e87a68; }
+  .alarm { color: #e87a68; font-weight: bold; }
+  svg.spark { vertical-align: middle; }
+  #error { color: #e87a68; margin-top: 1rem; min-height: 1.2rem; }
+  footer { margin-top: 2rem; color: #8b93a2; font-size: 0.75rem; }
+</style>
+</head>
+<body>
+<h1>fleet-as-a-service</h1>
+<div class="cards" id="cards"></div>
+<table>
+  <thead>
+    <tr><th>node</th><th>state</th><th>alarm</th><th>forecast ttf (s)</th>
+        <th>trend</th><th>availability</th><th>crashes</th><th>rejuv</th><th>served</th></tr>
+  </thead>
+  <tbody id="nodes"></tbody>
+</table>
+<div id="error"></div>
+<footer>polling /fleet and /forecasts &middot; mutations: POST /mutations &middot;
+        replay: repro serve --replay &lt;session-dir&gt;</footer>
+<script>
+"use strict";
+const HISTORY = 60;                    // forecast points kept per node
+const history = new Map();             // node_id -> [ttf or null]
+
+function fmt(x, digits) {
+  if (x === null || x === undefined) return "-";
+  return Number(x).toFixed(digits === undefined ? 0 : digits);
+}
+
+function card(label, value) {
+  return '<div class="card"><div class="label">' + label +
+         '</div><div class="value">' + value + "</div></div>";
+}
+
+function sparkline(points) {
+  const finite = points.filter((p) => p !== null);
+  if (finite.length < 2) return "";
+  const w = 120, h = 24;
+  const max = Math.max(...finite), min = Math.min(...finite);
+  const span = max - min || 1;
+  const step = w / (points.length - 1 || 1);
+  let d = "", started = false;
+  points.forEach((p, i) => {
+    if (p === null) { started = false; return; }
+    const x = (i * step).toFixed(1);
+    const y = (h - 2 - ((p - min) / span) * (h - 4)).toFixed(1);
+    d += (started ? " L" : " M") + x + " " + y;
+    started = true;
+  });
+  return '<svg class="spark" width="' + w + '" height="' + h + '">' +
+         '<path d="' + d + '" fill="none" stroke="#6aa9e8" stroke-width="1.5"/></svg>';
+}
+
+async function refresh() {
+  try {
+    const [fleetRes, forecastRes] = await Promise.all([
+      fetch("/fleet"), fetch("/forecasts"),
+    ]);
+    const fleet = await fleetRes.json();
+    const forecasts = await forecastRes.json();
+    document.getElementById("cards").innerHTML =
+      card("tick", fleet.tick) +
+      card("sim time", fmt(fleet.sim_seconds / 3600, 2) + " h") +
+      card("active / nodes", fleet.active_nodes + " / " + fleet.num_nodes) +
+      card("availability", fmt(fleet.availability * 100, 3) + "%") +
+      card("success rate", fmt(fleet.request_success_rate * 100, 3) + "%") +
+      card("load (EBs)", fleet.total_ebs) +
+      card("mutations", fleet.mutations) +
+      card("status", fleet.finished ? "finished" : (fleet.paused ? "paused" : "running"));
+    const rows = [];
+    const byId = new Map(forecasts.nodes.map((n) => [n.node_id, n]));
+    for (const node of await (await fetch("/nodes")).json()) {
+      const f = byId.get(node.node_id) || {};
+      const ttf = f.predicted_ttf_seconds === undefined ? null : f.predicted_ttf_seconds;
+      if (!history.has(node.node_id)) history.set(node.node_id, []);
+      const series = history.get(node.node_id);
+      series.push(ttf);
+      if (series.length > HISTORY) series.shift();
+      rows.push(
+        "<tr><td>n" + node.node_id + "</td>" +
+        '<td class="state-' + node.state + '">' + node.state + "</td>" +
+        "<td>" + (node.alarm ? '<span class="alarm">ALARM</span>' : "-") + "</td>" +
+        "<td>" + fmt(ttf) + "</td>" +
+        "<td>" + sparkline(series) + "</td>" +
+        "<td>" + fmt(node.availability * 100, 2) + "%</td>" +
+        "<td>" + node.crashes + "</td>" +
+        "<td>" + node.rejuvenations + "</td>" +
+        "<td>" + node.requests_served + "</td></tr>");
+    }
+    document.getElementById("nodes").innerHTML = rows.join("");
+    document.getElementById("error").textContent = "";
+  } catch (err) {
+    document.getElementById("error").textContent = "poll failed: " + err;
+  }
+}
+
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""

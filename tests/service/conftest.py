@@ -1,0 +1,33 @@
+"""Shared fixtures for the fleet-service tests.
+
+Everything here runs the ``fast`` cluster scenario with the ``none`` or
+``time_based`` policy on short horizons: no predictor training, so the
+whole service suite stays in the seconds range while exercising the real
+engines end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.service.session import build_service_manifest
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+@pytest.fixture
+def fast_manifest() -> dict:
+    """A small live-serveable fleet: 3 nodes, 1-hour horizon, no policy."""
+    return build_service_manifest(
+        preset="fast", kind="memory", policy="none", horizon_seconds=3600.0
+    )
+
+
+@pytest.fixture
+def tiny_manifest() -> dict:
+    """An even shorter horizon for HTTP tests (finishes in a few seconds)."""
+    return build_service_manifest(
+        preset="fast", kind="memory", policy="none", horizon_seconds=1800.0
+    )
